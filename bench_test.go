@@ -1,0 +1,157 @@
+// Benchmarks regenerating every table and figure of the FastBFS paper's
+// evaluation (§IV), one testing.B target each, plus the ablations. Run
+//
+//	go test -bench=. -benchmem
+//
+// for the quick (tiny-scale) pass, or use cmd/benchfig for the full
+// printed tables at larger scales. Each benchmark reports the
+// experiment's headline number as a custom metric so regressions in the
+// reproduced *shape* (who wins, by what factor) are visible in benchstat
+// output, not just wall time.
+package fastbfs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"fastbfs/internal/bench"
+)
+
+func benchCfg() bench.Config {
+	sc, _ := bench.ScaleByName("tiny")
+	return bench.Config{Scale: sc, Seed: 7}
+}
+
+// runExperiment executes one registered experiment b.N times, reporting
+// headline metrics extracted by pick.
+func runExperiment(b *testing.B, id string, pick func(t *bench.Table) map[string]float64) {
+	b.Helper()
+	e := bench.Find(id)
+	if e == nil {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if pick != nil && last != nil {
+		for name, v := range pick(last) {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// num parses the numeric prefix of a formatted cell ("1.70x", "61.0%").
+func num(s string) float64 {
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func BenchmarkFig1Convergence(b *testing.B) {
+	runExperiment(b, "fig1", func(t *bench.Table) map[string]float64 {
+		return map[string]float64{"levels": float64(len(t.Rows))}
+	})
+}
+
+func BenchmarkTableIRepresentation(b *testing.B) {
+	runExperiment(b, "table1", nil)
+}
+
+func BenchmarkTableIIDatasets(b *testing.B) {
+	runExperiment(b, "table2", func(t *bench.Table) map[string]float64 {
+		return map[string]float64{"datasets": float64(len(t.Rows))}
+	})
+}
+
+func BenchmarkFig4ExecTimeHDD(b *testing.B) {
+	runExperiment(b, "fig4", func(t *bench.Table) map[string]float64 {
+		m := map[string]float64{}
+		for _, row := range t.Rows {
+			m["speedup_vs_xstream_"+row[0]] = num(row[4])
+		}
+		return m
+	})
+}
+
+func BenchmarkFig5InputData(b *testing.B) {
+	runExperiment(b, "fig5", func(t *bench.Table) map[string]float64 {
+		m := map[string]float64{}
+		for _, row := range t.Rows {
+			m["read_reduction_pct_"+row[0]] = num(row[5])
+		}
+		return m
+	})
+}
+
+func BenchmarkFig6IowaitRatio(b *testing.B) {
+	runExperiment(b, "fig6", func(t *bench.Table) map[string]float64 {
+		row := t.Rows[0]
+		return map[string]float64{
+			"graphchi_pct": num(row[1]),
+			"xstream_pct":  num(row[2]),
+			"fastbfs_pct":  num(row[3]),
+		}
+	})
+}
+
+func BenchmarkFig7ExecTimeSSD(b *testing.B) {
+	runExperiment(b, "fig7", func(t *bench.Table) map[string]float64 {
+		m := map[string]float64{}
+		for _, row := range t.Rows {
+			m["speedup_vs_xstream_"+row[0]] = num(row[4])
+		}
+		return m
+	})
+}
+
+func BenchmarkFig8Threads(b *testing.B) {
+	runExperiment(b, "fig8", func(t *bench.Table) map[string]float64 {
+		return map[string]float64{
+			"fastbfs_1thread_s": num(t.Rows[0][2]),
+			"fastbfs_8thread_s": num(t.Rows[3][2]),
+		}
+	})
+}
+
+func BenchmarkFig9Memory(b *testing.B) {
+	runExperiment(b, "fig9", func(t *bench.Table) map[string]float64 {
+		return map[string]float64{
+			"fastbfs_256MB_s": num(t.Rows[0][3]),
+			"fastbfs_4GB_s":   num(t.Rows[4][3]),
+		}
+	})
+}
+
+func BenchmarkFig10TwoDisks(b *testing.B) {
+	runExperiment(b, "fig10", func(t *bench.Table) map[string]float64 {
+		m := map[string]float64{}
+		for _, row := range t.Rows {
+			m["twodisk_speedup_"+row[0]] = num(row[4])
+		}
+		return m
+	})
+}
+
+func BenchmarkAblationTrimThreshold(b *testing.B) {
+	runExperiment(b, "abl-trimstart", nil)
+}
+
+func BenchmarkAblationStayBuffers(b *testing.B) {
+	runExperiment(b, "abl-staybuf", nil)
+}
+
+func BenchmarkAblationGracePeriod(b *testing.B) {
+	runExperiment(b, "abl-grace", func(t *bench.Table) map[string]float64 {
+		return map[string]float64{"cancellations_tiny_grace": num(t.Rows[0][2])}
+	})
+}
+
+func BenchmarkAblationFeatureToggles(b *testing.B) {
+	runExperiment(b, "abl-features", nil)
+}

@@ -1,0 +1,74 @@
+// Command benchfig regenerates the FastBFS paper's tables and figures
+// (and this repository's ablations) on scaled-down datasets.
+//
+// Usage:
+//
+//	benchfig [-scale tiny|small|medium] [-seed N] [-md] [-v] [exp ...]
+//
+// With no experiment IDs, every registered experiment runs in paper
+// order. Use -list to see the registry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastbfs/internal/bench"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "dataset scale preset: tiny, small or medium")
+	seed := flag.Int64("seed", 7, "generator seed")
+	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
+	verbose := flag.Bool("v", false, "log per-run progress to stderr")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc, err := bench.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Scale: sc, Seed: *seed}
+	if *verbose {
+		cfg.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range bench.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	exit := 0
+	for _, id := range ids {
+		e := bench.Find(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown experiment %q (see -list)\n", id)
+			exit = 2
+			continue
+		}
+		t, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,170 @@
+// Command fastbfs runs breadth-first search over a stored graph with a
+// selectable engine — FastBFS (default), X-Stream or GraphChi — either
+// against real files and the wall clock, or against the simulated
+// testbed of the paper.
+//
+// Usage:
+//
+//	fastbfs -dir DATA -graph rmat20 -root 1 [-engine fastbfs|xstream|graphchi]
+//	        [-mem 1073741824] [-threads 4] [-sim] [-simscale 2048]
+//	        [-twodisks] [-ssd] [-trimstart 0] [-notrim] [-noselsched]
+//	        [-report] [-validate]
+//	fastbfs -dir DATA -graph rmat20 -config run.conf
+//
+// A -config file carries the paper's runtime settings (engine, budgets,
+// trim policy, additional disk location) in the same key=value format as
+// the dataset configuration; command-line flags are ignored when it is
+// given, except -report and -validate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fastbfs/internal/bfs"
+	"fastbfs/internal/core"
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/graphchi"
+	"fastbfs/internal/runconfig"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the stored graph")
+	name := flag.String("graph", "", "dataset name (required)")
+	engine := flag.String("engine", "fastbfs", "engine: fastbfs, xstream or graphchi")
+	root := flag.Uint64("root", 0, "BFS root vertex")
+	mem := flag.Uint64("mem", 1<<30, "working memory budget in bytes")
+	threads := flag.Int("threads", 4, "compute threads")
+	sim := flag.Bool("sim", false, "use the simulated testbed instead of wall-clock time")
+	simScale := flag.Float64("simscale", 1, "scale down the simulated positioning cost by this factor")
+	ssd := flag.Bool("ssd", false, "simulate the SSD instead of the HDD")
+	twoDisks := flag.Bool("twodisks", false, "simulate a second disk for update/stay streams")
+	trimStart := flag.Int("trimstart", 0, "fastbfs: delay trimming until this iteration")
+	noTrim := flag.Bool("notrim", false, "fastbfs: disable trimming")
+	noSelSched := flag.Bool("noselsched", false, "fastbfs: disable selective scheduling")
+	report := flag.Bool("report", false, "print the full per-iteration report")
+	validate := flag.Bool("validate", false, "validate the BFS tree against the edge list (loads it in memory)")
+	configPath := flag.String("config", "", "runtime-settings file (overrides the other flags)")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "fastbfs: -graph is required")
+		os.Exit(2)
+	}
+	vol, err := storage.NewOS(*dir)
+	if err != nil {
+		fail(err)
+	}
+	if *configPath != "" {
+		runFromConfig(vol, *name, *configPath, *report, *validate)
+		return
+	}
+	opts := xstream.Options{
+		Root:         graph.VertexID(*root),
+		MemoryBudget: *mem,
+		Threads:      *threads,
+	}
+	if *sim {
+		cfg := &xstream.SimConfig{CPU: disksim.DefaultCPU(), Costs: disksim.DefaultCosts()}
+		if *ssd {
+			cfg.MainDisk = disksim.SSDScaled("ssd0", *simScale)
+		} else {
+			cfg.MainDisk = disksim.HDDScaled("hdd0", *simScale)
+		}
+		if *twoDisks {
+			if *ssd {
+				cfg.AuxDisk = disksim.SSDScaled("ssd1", *simScale)
+			} else {
+				cfg.AuxDisk = disksim.HDDScaled("hdd1", *simScale)
+			}
+		}
+		opts.Sim = cfg
+	}
+
+	var res *xstream.Result
+	switch *engine {
+	case "fastbfs":
+		res, err = core.Run(vol, *name, core.Options{
+			Base:                       opts,
+			TrimStartIteration:         *trimStart,
+			DisableTrimming:            *noTrim,
+			DisableSelectiveScheduling: *noSelSched,
+		})
+	case "xstream":
+		res, err = xstream.Run(vol, *name, opts)
+	case "graphchi":
+		res, err = graphchi.Run(vol, *name, opts)
+	default:
+		err = fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *report {
+		fmt.Print(res.Metrics.Report())
+	} else {
+		fmt.Println(res.Metrics.String())
+	}
+	if *validate {
+		m, edges, err := graph.LoadEdges(vol, *name)
+		if err != nil {
+			fail(err)
+		}
+		r := &bfs.Result{Root: graph.VertexID(*root), Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+		if err := bfs.Validate(m, edges, r); err != nil {
+			fail(fmt.Errorf("validation FAILED: %w", err))
+		}
+		fmt.Println("validation: OK (Graph500-style parent tree check)")
+	}
+}
+
+// runFromConfig executes a run described by a runtime-settings file.
+func runFromConfig(vol *storage.OS, name, path string, report, validate bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	cfg, err := runconfig.Parse(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	var res *xstream.Result
+	switch cfg.Engine {
+	case "fastbfs":
+		res, err = core.Run(vol, name, cfg.CoreOptions())
+	case "xstream":
+		res, err = xstream.Run(vol, name, cfg.EngineOptions())
+	case "graphchi":
+		res, err = graphchi.Run(vol, name, cfg.EngineOptions())
+	}
+	if err != nil {
+		fail(err)
+	}
+	if report {
+		fmt.Print(res.Metrics.Report())
+	} else {
+		fmt.Println(res.Metrics.String())
+	}
+	if validate {
+		m, edges, err := graph.LoadEdges(vol, name)
+		if err != nil {
+			fail(err)
+		}
+		r := &bfs.Result{Root: cfg.Root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+		if err := bfs.Validate(m, edges, r); err != nil {
+			fail(fmt.Errorf("validation FAILED: %w", err))
+		}
+		fmt.Println("validation: OK (Graph500-style parent tree check)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fastbfs:", err)
+	os.Exit(1)
+}

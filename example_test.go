@@ -1,0 +1,86 @@
+package fastbfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"fastbfs"
+)
+
+// ExampleBFS runs FastBFS on a small deterministic graph: a binary-tree
+// shaped dataset stored on an in-memory volume, traversed out-of-core
+// against the simulated testbed.
+func ExampleBFS() {
+	vol := fastbfs.NewMemVolume()
+	// A 15-vertex complete binary tree: vertex 0 is the root, vertex i
+	// has children 2i+1 and 2i+2.
+	var edges []fastbfs.Edge
+	for i := fastbfs.VertexID(0); i < 7; i++ {
+		edges = append(edges,
+			fastbfs.Edge{Src: i, Dst: 2*i + 1},
+			fastbfs.Edge{Src: i, Dst: 2*i + 2})
+	}
+	meta := fastbfs.Meta{Name: "tree15", Vertices: 15, Edges: uint64(len(edges))}
+	if err := fastbfs.Store(vol, meta, edges); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := fastbfs.DefaultOptions()
+	opts.Base.Root = 0
+	opts.Base.MemoryBudget = 64 // force several partitions: genuinely out-of-core
+	res, err := fastbfs.BFS(vol, "tree15", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("visited:", res.Visited)
+	fmt.Println("depth of vertex 14:", res.Levels[14])
+	fmt.Println("valid:", fastbfs.ValidateBFS(meta, edges, 0, res) == nil)
+	// Output:
+	// visited: 15
+	// depth of vertex 14: 3
+	// valid: true
+}
+
+// ExampleConvergence shows the per-level live-edge profile that decides
+// whether trimming pays off (the paper's Fig. 1).
+func ExampleConvergence() {
+	// A star: everything is discovered at level 1, so 100% of the edges
+	// are dead after one level.
+	var edges []fastbfs.Edge
+	for i := fastbfs.VertexID(1); i < 6; i++ {
+		edges = append(edges, fastbfs.Edge{Src: 0, Dst: i})
+	}
+	meta := fastbfs.Meta{Name: "star6", Vertices: 6, Edges: 5}
+	prof, err := fastbfs.Convergence(meta, edges, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range prof {
+		fmt.Printf("level %d: frontier=%d live=%d\n", s.Level, s.Frontier, s.LiveEdges)
+	}
+	// Output:
+	// level 0: frontier=1 live=5
+	// level 1: frontier=5 live=0
+}
+
+// ExampleSSSP computes weighted shortest paths out-of-core.
+func ExampleSSSP() {
+	vol := fastbfs.NewMemVolume()
+	meta := fastbfs.Meta{Name: "wdiamond", Vertices: 4, Edges: 4}
+	wedges := []fastbfs.WEdge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 5},
+		{Src: 1, Dst: 3, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1},
+	}
+	if err := fastbfs.StoreWeighted(vol, meta, wedges); err != nil {
+		log.Fatal(err)
+	}
+	dist, err := fastbfs.SSSP(vol, "wdiamond", 0, fastbfs.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dist(3) = %.0f\n", dist[3])
+	// Output:
+	// dist(3) = 2
+}

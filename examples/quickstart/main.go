@@ -1,0 +1,75 @@
+// Quickstart: generate a Graph500 R-MAT graph, run FastBFS and the two
+// baseline engines on the simulated testbed, validate the BFS trees and
+// compare the measurements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastbfs"
+)
+
+func main() {
+	// An in-memory volume with simulated timing: deterministic and fast.
+	vol := fastbfs.NewMemVolume()
+
+	// rmat16 with edge factor 16 per the Graph500 specification:
+	// 65,536 vertices, ~1M edges, 8 MB of binary edge data.
+	meta, edges, err := fastbfs.GenerateRMAT(16, 16, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fastbfs.Store(vol, meta, edges); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s: %d vertices, %d edges\n", meta.Name, meta.Vertices, meta.Edges)
+
+	// Pick a root the way Graph500 does: a vertex with high out-degree.
+	root := fastbfs.VertexID(0)
+	var best uint32
+	deg := make(map[fastbfs.VertexID]uint32)
+	for _, e := range edges {
+		deg[e.Src]++
+		if deg[e.Src] > best {
+			best, root = deg[e.Src], e.Src
+		}
+	}
+
+	// FastBFS with a memory budget far below the graph size, so the run
+	// is genuinely out-of-core.
+	opts := fastbfs.DefaultOptions()
+	opts.Base.Root = root
+	opts.Base.MemoryBudget = meta.DataBytes() / 2
+	opts.Base.Sim = fastbfs.ScaledSim(512) // scaled testbed, see DESIGN.md §6
+
+	res, err := fastbfs.BFS(vol, meta.Name, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fastbfs:  %s\n", res.Metrics.String())
+	if err := fastbfs.ValidateBFS(meta, edges, root, res); err != nil {
+		log.Fatal("validation failed: ", err)
+	}
+	fmt.Println("fastbfs tree validated (Graph500-style check)")
+
+	// The baselines on identical settings.
+	base := opts.Base
+	base.Sim = fastbfs.ScaledSim(512)
+	xs, err := fastbfs.BFSXStream(vol, meta.Name, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Sim = fastbfs.ScaledSim(512)
+	gc, err := fastbfs.BFSGraphChi(vol, meta.Name, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xstream:  %s\n", xs.Metrics.String())
+	fmt.Printf("graphchi: %s\n", gc.Metrics.String())
+	fmt.Printf("\nfastbfs speedup: %.2fx vs xstream, %.2fx vs graphchi\n",
+		xs.Metrics.ExecTime/res.Metrics.ExecTime,
+		gc.Metrics.ExecTime/res.Metrics.ExecTime)
+	fmt.Printf("input data: fastbfs read %.1f%% less than xstream\n",
+		100*(1-float64(res.Metrics.BytesRead)/float64(xs.Metrics.BytesRead)))
+}

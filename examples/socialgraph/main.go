@@ -1,0 +1,132 @@
+// Social-graph analysis: the workload the paper's introduction motivates.
+// Builds a twitter-like follower graph, inspects its convergence profile,
+// runs FastBFS reachability from an influential account, then runs the
+// extension algorithms (connected components and PageRank) on the same
+// out-of-core substrate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"fastbfs"
+)
+
+func main() {
+	vol := fastbfs.NewMemVolume()
+	meta, edges, err := fastbfs.GenerateTwitterLike(14, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fastbfs.Store(vol, meta, edges); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("follower graph %s: %d users, %d follow edges\n", meta.Name, meta.Vertices, meta.Edges)
+
+	// Most-followed-by proxy: highest out-degree account.
+	deg := make([]uint32, meta.Vertices)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	root := fastbfs.VertexID(0)
+	for v := range deg {
+		if deg[v] > deg[root] {
+			root = fastbfs.VertexID(v)
+		}
+	}
+	fmt.Printf("seed account: vertex %d (%d outgoing follows)\n\n", root, deg[root])
+
+	// Convergence profile — why trimming works on social graphs.
+	prof, err := fastbfs.Convergence(meta, edges, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BFS convergence (the paper's Fig. 1 on this graph):")
+	for _, s := range prof {
+		fmt.Printf("  level %d: frontier %6d, %5.1f%% of edges still live\n",
+			s.Level, s.Frontier, 100*float64(s.LiveEdges)/float64(meta.Edges))
+	}
+
+	// Out-of-core FastBFS.
+	opts := fastbfs.DefaultOptions()
+	opts.Base.Root = root
+	opts.Base.MemoryBudget = meta.DataBytes() / 2
+	opts.Base.Sim = fastbfs.ScaledSim(1024)
+	res, err := fastbfs.BFS(vol, meta.Name, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreachability: %d of %d accounts within %d hops (%.4f virtual seconds)\n",
+		res.Visited, meta.Vertices, len(res.Metrics.Iterations)-1, res.Metrics.ExecTime)
+
+	hist := map[uint32]int{}
+	for _, l := range res.Levels {
+		if l != fastbfs.NoLevel {
+			hist[l]++
+		}
+	}
+	var levels []uint32
+	for l := range hist {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	fmt.Println("hop distance histogram:")
+	for _, l := range levels {
+		fmt.Printf("  %2d hops: %d accounts\n", l, hist[l])
+	}
+
+	// Extension algorithms on the same substrate (the paper's future
+	// work): components over the symmetrized graph, PageRank over the
+	// follower direction.
+	sym := make([]fastbfs.Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		sym = append(sym, e)
+		if e.Src != e.Dst {
+			sym = append(sym, fastbfs.Edge{Src: e.Dst, Dst: e.Src})
+		}
+	}
+	symMeta := meta
+	symMeta.Name = meta.Name + "_sym"
+	symMeta.Undirected = true
+	if err := fastbfs.Store(vol, symMeta, sym); err != nil {
+		log.Fatal(err)
+	}
+	engOpts := opts.Base
+	engOpts.Sim = fastbfs.ScaledSim(1024)
+	labels, err := fastbfs.ConnectedComponents(vol, symMeta.Name, engOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := map[uint32]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	largest := 0
+	for _, n := range sizes {
+		if n > largest {
+			largest = n
+		}
+	}
+	fmt.Printf("\ncomponents: %d total, largest holds %.1f%% of users\n",
+		len(sizes), 100*float64(largest)/float64(meta.Vertices))
+
+	engOpts.Sim = fastbfs.ScaledSim(1024)
+	ranks, err := fastbfs.PageRank(vol, meta.Name, 10, engOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type vr struct {
+		v fastbfs.VertexID
+		r float64
+	}
+	top := make([]vr, 0, len(ranks))
+	for v, r := range ranks {
+		top = append(top, vr{fastbfs.VertexID(v), r})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+	fmt.Println("top-5 accounts by PageRank:")
+	for _, t := range top[:5] {
+		fmt.Printf("  vertex %6d: %.6f\n", t.v, t.r)
+	}
+}

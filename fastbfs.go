@@ -1,0 +1,238 @@
+// Package fastbfs is the public API of this repository: a reproduction
+// of "FastBFS: Fast Breadth-First Graph Search on a Single Server"
+// (Cheng, Zhang, Shu, Hu, Zheng — IPDPS 2016) as a production-quality Go
+// library.
+//
+// The package bundles
+//
+//   - the FastBFS engine itself (asynchronous graph trimming over an
+//     edge-centric out-of-core scatter/gather loop),
+//   - the two baselines the paper evaluates against — X-Stream and
+//     GraphChi's parallel sliding windows — implemented from scratch,
+//   - workload generators for the paper's datasets (Graph500 R-MAT and
+//     synthetic twitter/friendster stand-ins),
+//   - a storage layer with in-memory and real-file volumes, and an
+//     analytic disk/time simulator reproducing the paper's testbed,
+//   - extension algorithms on the same substrate (multi-source BFS,
+//     weakly connected components, PageRank, diameter estimation).
+//
+// # Quick start
+//
+//	vol := fastbfs.NewMemVolume()
+//	meta, edges, _ := fastbfs.GenerateRMAT(16, 16, 42)
+//	_ = fastbfs.Store(vol, meta, edges)
+//
+//	opts := fastbfs.DefaultOptions()
+//	opts.Base.Root = 1
+//	res, _ := fastbfs.BFS(vol, meta.Name, opts)
+//	fmt.Println(res.Visited, "vertices reached in", res.Metrics.ExecTime, "virtual seconds")
+//
+// See examples/ for complete programs and internal/bench for the
+// harness that regenerates every table and figure of the paper.
+package fastbfs
+
+import (
+	"fastbfs/internal/algo"
+	"fastbfs/internal/bfs"
+	"fastbfs/internal/core"
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/graphchi"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+// Core graph types.
+type (
+	// VertexID identifies a vertex; ids are dense in [0, Vertices).
+	VertexID = graph.VertexID
+	// Edge is a directed edge.
+	Edge = graph.Edge
+	// Meta describes a stored graph.
+	Meta = graph.Meta
+	// Volume is the storage abstraction engines stream through.
+	Volume = storage.Volume
+	// Result is a BFS engine's output: levels, parents and metrics.
+	Result = xstream.Result
+	// Options configures the FastBFS engine.
+	Options = core.Options
+	// EngineOptions is the base option set shared by every engine.
+	EngineOptions = xstream.Options
+	// Sim selects simulated timing and carries device/cost models.
+	Sim = xstream.SimConfig
+	// Device is one simulated disk.
+	Device = disksim.Device
+	// RunMetrics is the measurement record of one engine execution.
+	RunMetrics = metrics.Run
+)
+
+// NoVertex is the "no parent" sentinel.
+const NoVertex = graph.NoVertex
+
+// NoLevel marks a vertex not reached by the traversal.
+const NoLevel = xstream.NoLevel
+
+// NewMemVolume returns an in-memory volume (deterministic, used with
+// simulated timing).
+func NewMemVolume() *storage.Mem { return storage.NewMem() }
+
+// NewOSVolume returns a volume backed by real files under dir (wall
+// clock timing).
+func NewOSVolume(dir string) (*storage.OS, error) { return storage.NewOS(dir) }
+
+// Store writes a graph (binary edge list + config file) to a volume.
+func Store(vol Volume, m Meta, edges []Edge) error { return graph.Store(vol, m, edges) }
+
+// LoadMeta reads a stored graph's metadata.
+func LoadMeta(vol Volume, name string) (Meta, error) { return graph.LoadMeta(vol, name) }
+
+// GenerateRMAT generates a Graph500-specification R-MAT graph with
+// 2^scale vertices and edgeFactor·2^scale edges.
+func GenerateRMAT(scale, edgeFactor int, seed int64) (Meta, []Edge, error) {
+	return gen.RMAT(scale, edgeFactor, gen.Graph500(), seed)
+}
+
+// GenerateTwitterLike generates a directed scale-free stand-in for the
+// paper's twitter_rv dataset at the given scale.
+func GenerateTwitterLike(scale int, seed int64) (Meta, []Edge, error) {
+	return gen.TwitterLike(scale, seed)
+}
+
+// GenerateFriendsterLike generates an undirected (symmetrized)
+// scale-free stand-in for the paper's friendster dataset.
+func GenerateFriendsterLike(scale int, seed int64) (Meta, []Edge, error) {
+	return gen.FriendsterLike(scale, seed)
+}
+
+// DefaultOptions returns FastBFS options with a simulated single HDD,
+// the paper's 4-core CPU model, 4 threads and a 1 GiB memory budget.
+func DefaultOptions() Options {
+	return Options{Base: EngineOptions{Sim: xstream.DefaultSim()}}
+}
+
+// DefaultSim returns the single-HDD simulation configuration.
+func DefaultSim() *Sim { return xstream.DefaultSim() }
+
+// ScaledSim returns a single-HDD simulation with its positioning cost
+// scaled down by factor, for datasets scaled down from the paper's
+// multi-gigabyte graphs (see DESIGN.md §6).
+func ScaledSim(factor float64) *Sim { return xstream.ScaledSim(factor) }
+
+// HDD and SSD build simulated devices with the paper's testbed
+// characteristics.
+func HDD(name string) *Device { return disksim.HDD(name) }
+
+// SSD returns a simulated SATA2-era SSD.
+func SSD(name string) *Device { return disksim.SSD(name) }
+
+// BFS runs the FastBFS engine (the paper's contribution) over a stored
+// graph.
+func BFS(vol Volume, graphName string, opts Options) (*Result, error) {
+	return core.Run(vol, graphName, opts)
+}
+
+// BFSXStream runs the X-Stream baseline engine.
+func BFSXStream(vol Volume, graphName string, opts EngineOptions) (*Result, error) {
+	return xstream.Run(vol, graphName, opts)
+}
+
+// BFSGraphChi runs the GraphChi (parallel sliding windows) baseline
+// engine.
+func BFSGraphChi(vol Volume, graphName string, opts EngineOptions) (*Result, error) {
+	return graphchi.Run(vol, graphName, opts)
+}
+
+// ValidateBFS checks an engine result against the graph with
+// Graph500-style parent-tree validation.
+func ValidateBFS(m Meta, edges []Edge, root VertexID, res *Result) error {
+	return bfs.Validate(m, edges, &bfs.Result{
+		Root: root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited,
+	})
+}
+
+// LevelStats describes one BFS level of a convergence profile (Fig. 1).
+type LevelStats = bfs.LevelStats
+
+// Convergence computes the per-level frontier and live-edge profile of a
+// BFS from root — the fraction of the graph still useful at each level,
+// which is what makes trimming pay off.
+func Convergence(m Meta, edges []Edge, root VertexID) ([]LevelStats, error) {
+	return bfs.Convergence(m, edges, root)
+}
+
+// DiameterEstimate is the result of a sampled eccentricity sweep.
+type DiameterEstimate = algo.DiameterEstimate
+
+// EstimateDiameter lower-bounds a stored graph's diameter with repeated
+// FastBFS sweeps from random roots.
+func EstimateDiameter(vol Volume, graphName string, samples int, seed int64, opts Options) (*DiameterEstimate, error) {
+	return algo.EstimateDiameter(vol, graphName, samples, seed, opts)
+}
+
+// ConnectedComponents runs weakly-connected-components label propagation
+// over a stored (symmetrized) graph, returning a component label per
+// vertex.
+func ConnectedComponents(vol Volume, graphName string, opts EngineOptions) ([]uint32, error) {
+	res, err := algo.Run(vol, graphName, algo.WCC{}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return algo.WCC{}.Labels(res.Values), nil
+}
+
+// PageRank runs `iterations` damped power iterations over a stored
+// graph, returning a score per vertex.
+func PageRank(vol Volume, graphName string, iterations int, opts EngineOptions) ([]float64, error) {
+	m, edges, err := graph.LoadEdges(vol, graphName)
+	if err != nil {
+		return nil, err
+	}
+	prog := algo.NewPageRank(graph.Degrees(m.Vertices, edges), iterations)
+	res, err := algo.Run(vol, graphName, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Ranks(res.Values), nil
+}
+
+// WEdge is a weighted directed edge (SSSP).
+type WEdge = graph.WEdge
+
+// InfDistance is the SSSP distance of an unreached vertex.
+var InfDistance = algo.Inf
+
+// GenerateWeights assigns uniform random edge weights in [minW, maxW) to
+// an edge list, producing a weighted graph for SSSP.
+func GenerateWeights(m Meta, edges []Edge, minW, maxW float32, seed int64) (Meta, []WEdge, error) {
+	return gen.Weigh(m, edges, minW, maxW, seed)
+}
+
+// StoreWeighted writes a weighted graph to a volume.
+func StoreWeighted(vol Volume, m Meta, edges []WEdge) error {
+	return graph.StoreWeighted(vol, m, edges)
+}
+
+// SSSP computes single-source shortest paths over a stored weighted
+// graph with out-of-core Bellman-Ford iterations, returning one distance
+// per vertex (InfDistance when unreached).
+func SSSP(vol Volume, graphName string, root VertexID, opts EngineOptions) ([]float32, error) {
+	prog := algo.NewSSSP(root)
+	res, err := algo.Run(vol, graphName, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Distances(res.Values), nil
+}
+
+// MultiSourceBFS runs a reachability sweep from several roots at once,
+// returning the hop distance per vertex (NoLevel when unreached).
+func MultiSourceBFS(vol Volume, graphName string, roots []VertexID, opts EngineOptions) ([]uint32, error) {
+	prog := algo.NewMultiSourceBFS(roots)
+	res, err := algo.Run(vol, graphName, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Levels(res.Values), nil
+}

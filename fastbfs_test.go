@@ -1,0 +1,114 @@
+package fastbfs
+
+import (
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the facade the way the README's
+// quickstart does: generate, store, run all three engines, validate,
+// then exercise the extension algorithms.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	vol := NewMemVolume()
+	meta, edges, err := GenerateRMAT(10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Store(vol, meta, edges); err != nil {
+		t.Fatal(err)
+	}
+	if m2, err := LoadMeta(vol, meta.Name); err != nil || m2 != meta {
+		t.Fatalf("LoadMeta = %+v, %v", m2, err)
+	}
+
+	var root VertexID
+	deg := make([]uint32, meta.Vertices)
+	for _, e := range edges {
+		deg[e.Src]++
+		if deg[e.Src] > deg[root] {
+			root = e.Src
+		}
+	}
+
+	opts := DefaultOptions()
+	opts.Base.Root = root
+	opts.Base.MemoryBudget = meta.DataBytes() / 3
+	res, err := BFS(vol, meta.Name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBFS(meta, edges, root, res); err != nil {
+		t.Fatal(err)
+	}
+
+	base := opts.Base
+	base.Sim = DefaultSim()
+	xs, err := BFSXStream(vol, meta.Name, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Sim = DefaultSim()
+	gc, err := BFSGraphChi(vol, meta.Name, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs.Visited != res.Visited || gc.Visited != res.Visited {
+		t.Fatalf("engines disagree: fastbfs=%d xstream=%d graphchi=%d", res.Visited, xs.Visited, gc.Visited)
+	}
+
+	prof, err := Convergence(meta, edges, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) == 0 || prof[0].LiveEdges != meta.Edges {
+		t.Fatalf("convergence profile = %+v", prof)
+	}
+
+	levels, err := MultiSourceBFS(vol, meta.Name, []VertexID{root}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range levels {
+		if levels[v] != res.Levels[v] {
+			t.Fatalf("multi-source BFS with one root differs at vertex %d", v)
+		}
+	}
+
+	ranks, err := PageRank(vol, meta.Name, 5, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != int(meta.Vertices) {
+		t.Fatalf("ranks = %d", len(ranks))
+	}
+
+	est, err := EstimateDiameter(vol, meta.Name, 3, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.LowerBound < 1 {
+		t.Fatalf("diameter lower bound = %d", est.LowerBound)
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	if m, e, err := GenerateTwitterLike(8, 1); err != nil || uint64(len(e)) != m.Edges {
+		t.Fatalf("twitter: %v %v", m, err)
+	}
+	m, e, err := GenerateFriendsterLike(8, 1)
+	if err != nil || !m.Undirected || uint64(len(e)) != m.Edges {
+		t.Fatalf("friendster: %v %v", m, err)
+	}
+	if err := Store(NewMemVolume(), m, e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDevices(t *testing.T) {
+	h, s := HDD("h"), SSD("s")
+	if h.Bandwidth >= s.Bandwidth || h.SeekLatency <= s.SeekLatency {
+		t.Error("device presets inverted")
+	}
+	if ScaledSim(100).MainDisk.SeekLatency >= DefaultSim().MainDisk.SeekLatency {
+		t.Error("ScaledSim did not reduce the positioning cost")
+	}
+}

@@ -1,0 +1,370 @@
+// Package algo generalizes the edge-centric out-of-core machinery to
+// algorithms beyond BFS — the FastBFS paper's stated future work ("we
+// intend to support more algorithms based on graph traversals", §VI).
+//
+// The engine here is a plain (non-staged) X-Stream-style BSP loop: one
+// full scatter pass over every partition's edges, then one full gather
+// pass applying shuffled updates. Vertex state is an opaque 8-byte value
+// whose meaning belongs to the Program; this keeps the on-disk format
+// fixed while supporting BFS, connected components, PageRank and
+// multi-source reachability without type machinery.
+package algo
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fastbfs/internal/graph"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/stream"
+	"fastbfs/internal/xstream"
+)
+
+// Program defines an edge-centric vertex program over packed 8-byte
+// vertex values and 8-byte update payloads.
+type Program interface {
+	// Name labels the program in metrics.
+	Name() string
+	// Init returns vertex v's initial value.
+	Init(v graph.VertexID) uint64
+	// Scatter inspects a source vertex's value when streaming one of its
+	// out-edges in iteration iter, optionally emitting an update payload
+	// for the destination. weight is the edge weight (1 for unweighted
+	// graphs).
+	Scatter(iter int, src graph.VertexID, srcVal uint64, dst graph.VertexID, weight float32) (payload uint64, emit bool)
+	// BeginGather transforms a vertex value before updates are applied
+	// in an iteration (e.g. zeroing a PageRank accumulator).
+	BeginGather(iter int, val uint64) uint64
+	// Apply folds one update payload into a vertex value, reporting
+	// whether the value changed.
+	Apply(iter int, val uint64, payload uint64) (uint64, bool)
+	// EndGather transforms a vertex value after all updates of an
+	// iteration were applied (e.g. PageRank's damping step). changed
+	// reports whether the value differs meaningfully from the start of
+	// the iteration; it feeds convergence detection.
+	EndGather(iter int, val uint64) (uint64, bool)
+	// Converged decides whether to stop after an iteration in which
+	// `changes` vertex values changed and `emitted` updates were sent.
+	Converged(iter int, changes uint64, emitted int64) bool
+}
+
+// update is the on-disk update record: destination plus payload.
+const updateRecBytes = 12
+
+type updRec struct {
+	dst     graph.VertexID
+	payload uint64
+}
+
+func putUpdRec(b []byte, u updRec) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(u.dst))
+	binary.LittleEndian.PutUint64(b[4:12], u.payload)
+}
+
+func getUpdRec(b []byte) updRec {
+	return updRec{
+		dst:     graph.VertexID(binary.LittleEndian.Uint32(b[0:4])),
+		payload: binary.LittleEndian.Uint64(b[4:12]),
+	}
+}
+
+// Result of a program run: the final packed value per vertex.
+type Result struct {
+	Values  []uint64
+	Metrics metrics.Run
+}
+
+// Run executes a Program over a stored graph with X-Stream-style
+// out-of-core streaming.
+func Run(vol storage.Volume, graphName string, prog Program, opts xstream.Options) (*Result, error) {
+	opts.SetDefaults("algo_" + prog.Name())
+	rt, err := xstream.NewRuntime(vol, graphName, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Cleanup()
+
+	run := metrics.Run{Engine: prog.Name()}
+
+	P := rt.Parts.P()
+	vertexFile := func(p int) string { return fmt.Sprintf("%s_val_%d", rt.Opts.FilePrefix, p) }
+	updFile := func(set, p int) string { return fmt.Sprintf("%s_u%d_%d", rt.Opts.FilePrefix, set, p) }
+	edgeFile := func(p int) string { return fmt.Sprintf("%s_we_%d", rt.Opts.FilePrefix, p) }
+
+	// Prepare: split the stored graph into per-partition weighted edge
+	// files. Unweighted inputs get unit weights, so every Program runs
+	// on either representation.
+	if err := prepareWeighted(rt, edgeFile); err != nil {
+		return nil, err
+	}
+
+	// Initialize vertex values.
+	for p := 0; p < P; p++ {
+		lo, hi := rt.Parts.Interval(p)
+		w, err := stream.NewWriter(rt.Vol, vertexFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, 8,
+			func(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) })
+		if err != nil {
+			return nil, err
+		}
+		for v := lo; v < hi; v++ {
+			if err := w.Append(prog.Init(v)); err != nil {
+				w.Abort()
+				return nil, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		rt.BytesWritten += w.BytesWritten()
+	}
+
+	loadVals := func(p int) ([]uint64, error) {
+		lo, hi := rt.Parts.Interval(p)
+		n := int(hi - lo)
+		sc, err := stream.NewScanner(rt.Vol, vertexFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, 8,
+			func(b []byte) uint64 { return binary.LittleEndian.Uint64(b) })
+		if err != nil {
+			return nil, err
+		}
+		defer sc.Close()
+		vals := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			v, ok, err := sc.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("algo: value file %s truncated", vertexFile(p))
+			}
+			vals[i] = v
+		}
+		rt.BytesRead += sc.BytesRead()
+		return vals, nil
+	}
+	saveVals := func(p int, vals []uint64) error {
+		w, err := stream.NewWriter(rt.Vol, vertexFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, 8,
+			func(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) })
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
+			if err := w.Append(v); err != nil {
+				w.Abort()
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		rt.BytesWritten += w.BytesWritten()
+		return nil
+	}
+
+	maxIter := rt.Opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = int(rt.Meta.Vertices) + 1
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		itRow := metrics.Iteration{Index: iter}
+
+		// Scatter pass.
+		shuf := make([]*stream.Writer[updRec], P)
+		for p := 0; p < P; p++ {
+			w, err := stream.NewWriter(rt.Vol, updFile(0, p), rt.AuxTiming(), rt.Opts.StreamBufSize, updateRecBytes, putUpdRec)
+			if err != nil {
+				return nil, err
+			}
+			shuf[p] = w
+		}
+		var emitted int64
+		for p := 0; p < P; p++ {
+			vals, err := loadVals(p)
+			if err != nil {
+				return nil, err
+			}
+			lo, _ := rt.Parts.Interval(p)
+			sc, err := stream.NewScanner(rt.Vol, edgeFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, graph.WEdgeBytes, graph.GetWEdge)
+			if err != nil {
+				return nil, err
+			}
+			sc.Prefetch(rt.Opts.PrefetchBuffers)
+			var scanned int64
+			for {
+				e, ok, err := sc.Next()
+				if err != nil {
+					sc.Close()
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				scanned++
+				payload, emit := prog.Scatter(iter, e.Src, vals[int(e.Src-lo)], e.Dst, e.Weight)
+				if emit {
+					if err := shuf[rt.Parts.Of(e.Dst)].Append(updRec{dst: e.Dst, payload: payload}); err != nil {
+						sc.Close()
+						return nil, err
+					}
+					emitted++
+				}
+			}
+			rt.BytesRead += sc.BytesRead()
+			sc.Close()
+			rt.Compute(float64(scanned)*rt.Costs.ScatterPerEdge + float64(emitted)*rt.Costs.AppendPerUpdate)
+			itRow.EdgesStreamed += scanned
+		}
+		for _, w := range shuf {
+			if err := w.Close(); err != nil {
+				return nil, err
+			}
+			rt.BytesWritten += w.BytesWritten()
+		}
+		itRow.Updates = emitted
+
+		// Gather pass.
+		var changes uint64
+		for p := 0; p < P; p++ {
+			vals, err := loadVals(p)
+			if err != nil {
+				return nil, err
+			}
+			lo, _ := rt.Parts.Interval(p)
+			for i := range vals {
+				vals[i] = prog.BeginGather(iter, vals[i])
+			}
+			sc, err := stream.NewScanner(rt.Vol, updFile(0, p), rt.AuxTiming(), rt.Opts.StreamBufSize, updateRecBytes, getUpdRec)
+			if err != nil {
+				return nil, err
+			}
+			var applied int64
+			for {
+				u, ok, err := sc.Next()
+				if err != nil {
+					sc.Close()
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				applied++
+				i := int(u.dst - lo)
+				nv, _ := prog.Apply(iter, vals[i], u.payload)
+				vals[i] = nv
+			}
+			rt.BytesRead += sc.BytesRead()
+			sc.Close()
+			for i := range vals {
+				nv, changed := prog.EndGather(iter, vals[i])
+				vals[i] = nv
+				if changed {
+					changes++
+				}
+			}
+			rt.Compute(float64(applied)*rt.Costs.GatherPerUpdate + float64(len(vals))*rt.Costs.PerVertex)
+			if err := saveVals(p, vals); err != nil {
+				return nil, err
+			}
+			rt.Vol.Remove(updFile(0, p))
+		}
+		itRow.NewlyVisited = changes
+		run.Iterations = append(run.Iterations, itRow)
+
+		if prog.Converged(iter, changes, emitted) {
+			break
+		}
+	}
+
+	// Collect final values (uncharged, like the engines' result dump).
+	res := &Result{Values: make([]uint64, rt.Meta.Vertices)}
+	for p := 0; p < P; p++ {
+		b, err := storage.ReadAll(rt.Vol, vertexFile(p))
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := rt.Parts.Interval(p)
+		if len(b) != int(hi-lo)*8 {
+			return nil, fmt.Errorf("algo: value file %s has %d bytes, want %d", vertexFile(p), len(b), int(hi-lo)*8)
+		}
+		for i := 0; i < int(hi-lo); i++ {
+			res.Values[int(lo)+i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+	}
+	rt.FinishMetrics(&run)
+	res.Metrics = run
+	return res, nil
+}
+
+// prepareWeighted splits the stored graph (weighted or not) into
+// per-partition weighted edge files; unweighted edges get weight 1.
+func prepareWeighted(rt *xstream.Runtime, edgeFile func(int) string) error {
+	tm := rt.MainTiming()
+	outs := make([]*stream.Writer[graph.WEdge], rt.Parts.P())
+	for p := range outs {
+		w, err := stream.NewWriter(rt.Vol, edgeFile(p), tm, rt.Opts.StreamBufSize, graph.WEdgeBytes, graph.PutWEdge)
+		if err != nil {
+			for _, o := range outs[:p] {
+				o.Abort()
+			}
+			return err
+		}
+		outs[p] = w
+	}
+	route := func(e graph.WEdge) error {
+		if err := rt.Meta.CheckEdge(graph.Edge{Src: e.Src, Dst: e.Dst}); err != nil {
+			return err
+		}
+		return outs[rt.Parts.Of(e.Src)].Append(e)
+	}
+	if rt.Meta.Weighted {
+		sc, err := stream.NewScanner(rt.Vol, graph.EdgeFileName(rt.Meta.Name), tm, rt.Opts.StreamBufSize, graph.WEdgeBytes, graph.GetWEdge)
+		if err != nil {
+			return err
+		}
+		defer sc.Close()
+		for {
+			e, ok, err := sc.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if e.Weight < 0 {
+				return fmt.Errorf("algo: negative weight on %d->%d", e.Src, e.Dst)
+			}
+			if err := route(e); err != nil {
+				return err
+			}
+		}
+		rt.BytesRead += sc.BytesRead()
+	} else {
+		sc, err := stream.NewEdgeScanner(rt.Vol, graph.EdgeFileName(rt.Meta.Name), tm, rt.Opts.StreamBufSize)
+		if err != nil {
+			return err
+		}
+		defer sc.Close()
+		for {
+			e, ok, err := sc.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := route(graph.WEdge{Src: e.Src, Dst: e.Dst, Weight: 1}); err != nil {
+				return err
+			}
+		}
+		rt.BytesRead += sc.BytesRead()
+	}
+	rt.Compute(float64(rt.Meta.Edges) * rt.Costs.ScatterPerEdge)
+	for _, o := range outs {
+		if err := o.Close(); err != nil {
+			return err
+		}
+		rt.BytesWritten += o.BytesWritten()
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package algo
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+)
+
+// dijkstra is the in-memory reference for SSSP.
+func dijkstra(m graph.Meta, edges []graph.WEdge, root graph.VertexID) []float32 {
+	adj := make(map[graph.VertexID][]graph.WEdge)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e)
+	}
+	dist := make([]float32, m.Vertices)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[root] = 0
+	pq := &distHeap{{root, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range adj[it.v] {
+			if nd := it.d + e.Weight; nd < dist[e.Dst] {
+				dist[e.Dst] = nd
+				heap.Push(pq, distItem{e.Dst, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v graph.VertexID
+	d float32
+}
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func approx32(a, b float32) bool {
+	if math.IsInf(float64(a), 1) && math.IsInf(float64(b), 1) {
+		return true
+	}
+	diff := float64(a - b)
+	return math.Abs(diff) <= 1e-4*(1+math.Abs(float64(a))+math.Abs(float64(b)))
+}
+
+func runSSSP(t *testing.T, m graph.Meta, wedges []graph.WEdge, root graph.VertexID) []float32 {
+	t.Helper()
+	vol := storage.NewMem()
+	if err := graph.StoreWeighted(vol, m, wedges); err != nil {
+		t.Fatal(err)
+	}
+	m.Weighted = true
+	prog := NewSSSP(root)
+	res, err := Run(vol, m.Name, prog, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Distances(res.Values)
+}
+
+func TestSSSPWeightedPath(t *testing.T) {
+	// 0 -1.5-> 1 -2.5-> 2, plus an expensive shortcut 0 -10-> 2.
+	m := graph.Meta{Name: "wpath", Vertices: 3, Edges: 3}
+	wedges := []graph.WEdge{
+		{Src: 0, Dst: 1, Weight: 1.5},
+		{Src: 1, Dst: 2, Weight: 2.5},
+		{Src: 0, Dst: 2, Weight: 10},
+	}
+	got := runSSSP(t, m, wedges, 0)
+	want := []float32{0, 1.5, 4.0}
+	for v := range want {
+		if !approx32(got[v], want[v]) {
+			t.Errorf("dist[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSSSPShorterPathWinsOverFewerHops(t *testing.T) {
+	// Direct edge weight 10 vs 3-hop path of total 3: Bellman-Ford must
+	// correct the early 1-hop label — the property that makes trimming
+	// unsound for weighted traversal.
+	m := graph.Meta{Name: "correcting", Vertices: 5, Edges: 4}
+	wedges := []graph.WEdge{
+		{Src: 0, Dst: 4, Weight: 10},
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 4, Weight: 1},
+	}
+	got := runSSSP(t, m, wedges, 0)
+	if !approx32(got[4], 3) {
+		t.Fatalf("dist[4] = %v, want 3 (label correcting failed)", got[4])
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	m := graph.Meta{Name: "unreach", Vertices: 3, Edges: 1}
+	got := runSSSP(t, m, []graph.WEdge{{Src: 0, Dst: 1, Weight: 2}}, 0)
+	if !math.IsInf(float64(got[2]), 1) {
+		t.Fatalf("dist[2] = %v, want +Inf", got[2])
+	}
+}
+
+func TestSSSPUnitWeightsEqualBFSLevels(t *testing.T) {
+	m, edges, err := gen.RMAT(8, 8, gen.Graph500(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, wedges, err := gen.Weigh(m, edges, 1, 1.0001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights ~1: distances must round to BFS levels.
+	root := graph.VertexID(0)
+	deg := graph.Degrees(m.Vertices, edges)
+	for v, d := range deg {
+		if d > deg[root] {
+			root = graph.VertexID(v)
+		}
+	}
+	dist := runSSSP(t, wm, wedges, root)
+
+	vol := storage.NewMem()
+	if err := graph.Store(vol, m, edges); err != nil {
+		t.Fatal(err)
+	}
+	prog := NewBFS(root)
+	res, err := Run(vol, m.Name, prog, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := prog.Levels(res.Values)
+	for v := range levels {
+		if levels[v] == NoLevel {
+			if !math.IsInf(float64(dist[v]), 1) {
+				t.Fatalf("vertex %d: unreached by BFS but dist %v", v, dist[v])
+			}
+			continue
+		}
+		if got := int(dist[v] + 0.5); got != int(levels[v]) {
+			t.Fatalf("vertex %d: dist %v vs level %d", v, dist[v], levels[v])
+		}
+	}
+}
+
+func TestSSSPAgainstDijkstraProperty(t *testing.T) {
+	f := func(seed int64, rootSeed uint8) bool {
+		m, edges, err := gen.Uniform(30, 90, seed)
+		if err != nil {
+			return false
+		}
+		wm, wedges, err := gen.Weigh(m, edges, 0.1, 5.0, seed+1)
+		if err != nil {
+			return false
+		}
+		root := graph.VertexID(uint64(rootSeed) % m.Vertices)
+		vol := storage.NewMem()
+		if err := graph.StoreWeighted(vol, wm, wedges); err != nil {
+			return false
+		}
+		prog := NewSSSP(root)
+		res, err := Run(vol, wm.Name, prog, opts())
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		got := prog.Distances(res.Values)
+		want := dijkstra(wm, wedges, root)
+		for v := range want {
+			if !approx32(got[v], want[v]) {
+				t.Logf("vertex %d: %v vs dijkstra %v", v, got[v], want[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreWeightedRejectsNegativeWeights(t *testing.T) {
+	vol := storage.NewMem()
+	m := graph.Meta{Name: "neg", Vertices: 2}
+	err := graph.StoreWeighted(vol, m, []graph.WEdge{{Src: 0, Dst: 1, Weight: -1}})
+	if err == nil {
+		t.Fatal("negative weight stored")
+	}
+}
+
+func TestWeightedGraphRejectedByBFSEngines(t *testing.T) {
+	vol := storage.NewMem()
+	m, edges, _ := gen.Path(10)
+	wm, wedges, err := gen.Weigh(m, edges, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.StoreWeighted(vol, wm, wedges); err != nil {
+		t.Fatal(err)
+	}
+	// The algo engine accepts it; the dedicated BFS engines must not
+	// (their trim rule is unsound under weights).
+	if _, err := Run(vol, wm.Name, NewSSSP(0), opts()); err != nil {
+		t.Fatalf("algo engine rejected weighted graph: %v", err)
+	}
+}
+
+func TestGenWeigh(t *testing.T) {
+	m, edges, _ := gen.Path(10)
+	wm, wedges, err := gen.Weigh(m, edges, 1, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wm.Weighted || len(wedges) != len(edges) {
+		t.Fatalf("meta %+v, %d wedges", wm, len(wedges))
+	}
+	for i, e := range wedges {
+		if e.Src != edges[i].Src || e.Dst != edges[i].Dst {
+			t.Fatal("endpoints changed")
+		}
+		if e.Weight < 1 || e.Weight >= 3 {
+			t.Fatalf("weight %v outside [1,3)", e.Weight)
+		}
+	}
+	if _, _, err := gen.Weigh(m, edges, 3, 1, 7); err == nil {
+		t.Error("inverted range accepted")
+	}
+}

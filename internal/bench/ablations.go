@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+
+	"fastbfs/internal/core"
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+// Ablations probe the design knobs the paper describes qualitatively:
+// the trim threshold (§II-C3), the tunable stay buffers (§III), the
+// grace-and-cancel policy (§II-C2), and the two headline features
+// themselves.
+
+// AblTrimStart sweeps TrimStartIteration on both a fast-converging
+// scale-free graph and a high-diameter path — the case the paper says
+// motivates delaying trimming.
+func AblTrimStart(cfg Config) (*Table, error) {
+	vol := storage.NewMem()
+	ds, err := BuildTuneDataset(vol, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// A long path with extra weight: each vertex also points at a few
+	// earlier vertices, so the graph is large but converges one vertex
+	// per level.
+	pm, pedges, err := gen.Path(20000)
+	if err != nil {
+		return nil, err
+	}
+	for v := uint64(2); v < pm.Vertices; v += 2 {
+		pedges = append(pedges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(v / 2)})
+	}
+	pm.Edges = uint64(len(pedges))
+	if err := graph.Store(vol, pm, pedges); err != nil {
+		return nil, err
+	}
+	pathDS := Dataset{PaperName: "high-diameter path", Meta: pm, Root: 0, Budget: scaledBudget(pm, cfg.Scale)}
+
+	t := &Table{
+		ID: "abl-trimstart", Title: "Trim threshold sweep",
+		Header: []string{"graph", "threshold", "time (s)", "trimmed edges", "stay bytes written (MB)"},
+		PaperNote: "\"for early stages ... the stay list is very large, hence the graph trimming cost could be " +
+			"very high ... this happens a lot for graphs with high diameters. The easiest way to avoid this " +
+			"squander of resources is to start the graph trimming several iterations later, till the stay list " +
+			"shrinks to a relatively small proportion\"",
+	}
+	// Fast-converging graph: iteration-count threshold.
+	for _, start := range []int{0, 1, 2, 4, 8} {
+		o := core.Options{Base: baseOpts(ds, hddSim(cfg.Scale)), TrimStartIteration: start}
+		res, err := core.Run(vol, ds.Meta.Name, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ds.PaperName, fmt.Sprintf("start at iter %d", start), secs(res.Metrics.ExecTime),
+			fmt.Sprintf("%d", res.Metrics.TrimmedEdges), mb(res.Metrics.BytesWritten))
+	}
+	// High-diameter path: trimming every iteration rewrites a nearly
+	// whole graph 20000 times; the visited-fraction threshold ("till the
+	// stay list shrinks") is the remedy.
+	for _, frac := range []float64{0, 0.5, 0.9} {
+		o := core.Options{Base: baseOpts(pathDS, hddSim(cfg.Scale)), TrimVisitedFraction: frac}
+		res, err := core.Run(vol, pathDS.Meta.Name, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pathDS.PaperName, fmt.Sprintf("visited >= %.0f%%", 100*frac), secs(res.Metrics.ExecTime),
+			fmt.Sprintf("%d", res.Metrics.TrimmedEdges), mb(res.Metrics.BytesWritten))
+	}
+	{
+		o := core.Options{Base: baseOpts(pathDS, hddSim(cfg.Scale)), DisableTrimming: true}
+		res, err := core.Run(vol, pathDS.Meta.Name, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pathDS.PaperName, "trimming off", secs(res.Metrics.ExecTime),
+			fmt.Sprintf("%d", res.Metrics.TrimmedEdges), mb(res.Metrics.BytesWritten))
+	}
+	return t, nil
+}
+
+// AblStayBuffers sweeps the stay writer's private buffer pool.
+func AblStayBuffers(cfg Config) (*Table, error) {
+	vol := storage.NewMem()
+	ds, err := BuildTuneDataset(vol, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "abl-staybuf", Title: "Stay buffer count sweep (buffer size = 16 KiB)",
+		Header: []string{"buffers", "time (s)", "buffer waits", "cancellations"},
+		PaperNote: "\"the edge buffer count and size are made tunable, user can utilize larger memory space and " +
+			"more edge buffers\" to avoid stalling on buffer exhaustion",
+	}
+	for _, count := range []int{1, 2, 4, 8, 32} {
+		o := core.Options{Base: baseOpts(ds, hddSim(cfg.Scale)), StayBufSize: 16 << 10, StayBufCount: count}
+		res, err := core.Run(vol, ds.Meta.Name, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", count), secs(res.Metrics.ExecTime),
+			fmt.Sprintf("%d", res.Metrics.StayBufferWaits), fmt.Sprintf("%d", res.Metrics.Cancellations))
+	}
+	return t, nil
+}
+
+// AblGrace sweeps the cancellation grace period against a slow stay
+// device, where waiting longer trades stalls for trimmed input.
+func AblGrace(cfg Config) (*Table, error) {
+	vol := storage.NewMem()
+	ds, err := BuildTuneDataset(vol, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mkSim := func() *xstream.SimConfig {
+		s := hddSim(cfg.Scale)
+		// A dedicated stay disk 20x slower than the main disk: stay files
+		// are routinely late, so the grace period matters.
+		stay := disksim.HDDScaled("slowstay", cfg.Scale.Factor)
+		stay.Bandwidth /= 20
+		s.StayDisk = stay
+		return s
+	}
+	t := &Table{
+		ID: "abl-grace", Title: "Cancellation grace period sweep (slow dedicated stay disk)",
+		Header: []string{"grace (s)", "time (s)", "cancellations", "bytes read (MB)"},
+		PaperNote: "\"FastBFS waits for a short amount of time for the completion. If the time is out, it takes " +
+			"the previous edge file as the input instead, and cancels the unfinished stay list writing\"",
+	}
+	for _, grace := range []float64{1e-9, 1e-5, 1e-3, 1e-1, 10} {
+		o := core.Options{Base: baseOpts(ds, mkSim()), GracePeriod: grace}
+		res, err := core.Run(vol, ds.Meta.Name, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%g", grace), secs(res.Metrics.ExecTime),
+			fmt.Sprintf("%d", res.Metrics.Cancellations), mb(res.Metrics.BytesRead))
+	}
+	return t, nil
+}
+
+// AblFeatures toggles trimming and selective scheduling independently,
+// with X-Stream as the no-feature reference.
+func AblFeatures(cfg Config) (*Table, error) {
+	vol := storage.NewMem()
+	ds, err := BuildTuneDataset(vol, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "abl-features", Title: "Feature ablation: trimming x selective scheduling (8 partitions)",
+		Header: []string{"configuration", "time (s)", "bytes read (MB)", "bytes written (MB)", "skipped"},
+		PaperNote: "the paper attributes FastBFS's win to reduced input volume (trimming) plus skipped " +
+			"partitions (selective scheduling); disabling both should recover X-Stream",
+	}
+	// Force several partitions so selective scheduling has something to
+	// skip (the comparison datasets fit their vertex sets in one).
+	mkBase := func() xstream.Options {
+		o := baseOpts(ds, hddSim(cfg.Scale))
+		o.Partitions = 8
+		return o
+	}
+	xs, err := xstream.Run(vol, ds.Meta.Name, mkBase())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("xstream (reference)", secs(xs.Metrics.ExecTime), mb(xs.Metrics.BytesRead), mb(xs.Metrics.BytesWritten), "-")
+	for _, c := range []struct {
+		label    string
+		noTrim   bool
+		noSelSch bool
+	}{
+		{"fastbfs full", false, false},
+		{"fastbfs, no trimming", true, false},
+		{"fastbfs, no selective scheduling", false, true},
+		{"fastbfs, neither", true, true},
+	} {
+		o := core.Options{
+			Base:                       mkBase(),
+			DisableTrimming:            c.noTrim,
+			DisableSelectiveScheduling: c.noSelSch,
+		}
+		res, err := core.Run(vol, ds.Meta.Name, o)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.label, secs(res.Metrics.ExecTime), mb(res.Metrics.BytesRead), mb(res.Metrics.BytesWritten),
+			fmt.Sprintf("%d", res.Metrics.Skipped))
+	}
+	return t, nil
+}

@@ -1,0 +1,126 @@
+package bfs
+
+import (
+	"fmt"
+
+	"fastbfs/internal/graph"
+)
+
+// Direction-optimizing BFS (Beamer, Asanović, Patterson — SC'12), the
+// hybrid search the FastBFS paper cites as [18]: when the frontier is
+// small, classic top-down expansion; when the frontier covers much of
+// the graph, switch bottom-up — every unvisited vertex scans its
+// *in*-edges for a visited parent, which touches each unvisited vertex
+// once instead of every frontier edge. The same convergence observation
+// (most edges point into the already-visited region after the frontier
+// peak) is what FastBFS's trimming exploits out-of-core, so this kernel
+// doubles as a second, independently-derived reference implementation.
+
+// DirectionOptConfig tunes the switch heuristics.
+type DirectionOptConfig struct {
+	// Alpha switches top-down -> bottom-up when the frontier's out-edge
+	// count exceeds (remaining unexplored edges)/Alpha. Beamer's default
+	// is 14.
+	Alpha uint64
+	// Beta switches back to top-down when the frontier shrinks below
+	// vertices/Beta. Beamer's default is 24.
+	Beta uint64
+}
+
+// DefaultDirectionOpt returns Beamer's published parameters.
+func DefaultDirectionOpt() DirectionOptConfig { return DirectionOptConfig{Alpha: 14, Beta: 24} }
+
+// RunDirectionOpt performs the hybrid BFS from root, producing the same
+// Result as Run (identical levels; parents may differ but validate).
+func RunDirectionOpt(m graph.Meta, edges []graph.Edge, root graph.VertexID, cfg DirectionOptConfig) (*Result, error) {
+	if cfg.Alpha == 0 || cfg.Beta == 0 {
+		cfg = DefaultDirectionOpt()
+	}
+	out, err := BuildCSR(m, edges)
+	if err != nil {
+		return nil, err
+	}
+	// Bottom-up steps scan in-edges: build the transpose too.
+	rev := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		rev[i] = e.Reverse()
+	}
+	in, err := BuildCSR(m, rev)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(root) >= m.Vertices {
+		return nil, fmt.Errorf("bfs: root %d outside vertex space [0,%d)", root, m.Vertices)
+	}
+
+	res := &Result{
+		Root:   root,
+		Level:  make([]uint32, m.Vertices),
+		Parent: make([]graph.VertexID, m.Vertices),
+	}
+	for i := range res.Level {
+		res.Level[i] = NoLevel
+		res.Parent[i] = graph.NoVertex
+	}
+	res.Level[root] = 0
+	res.Parent[root] = root
+	res.Visited = 1
+
+	deg := func(v graph.VertexID) uint64 { return out.Offsets[v+1] - out.Offsets[v] }
+	frontier := []graph.VertexID{root}
+	frontierEdges := deg(root)
+	unexploredEdges := uint64(len(edges)) - frontierEdges
+	bottomUp := false
+
+	for level := uint32(1); len(frontier) > 0; level++ {
+		if !bottomUp && cfg.Alpha > 0 && frontierEdges > unexploredEdges/cfg.Alpha {
+			bottomUp = true
+		} else if bottomUp && uint64(len(frontier)) < m.Vertices/cfg.Beta {
+			bottomUp = false
+		}
+
+		var next []graph.VertexID
+		if bottomUp {
+			inFrontier := make([]bool, m.Vertices)
+			for _, v := range frontier {
+				inFrontier[v] = true
+			}
+			for v := uint64(0); v < m.Vertices; v++ {
+				if res.Level[v] != NoLevel {
+					continue
+				}
+				for _, u := range in.Neighbors(graph.VertexID(v)) {
+					if inFrontier[u] {
+						res.Level[v] = level
+						res.Parent[v] = u
+						res.Visited++
+						next = append(next, graph.VertexID(v))
+						break
+					}
+				}
+			}
+		} else {
+			for _, v := range frontier {
+				for _, w := range out.Neighbors(v) {
+					if res.Level[w] == NoLevel {
+						res.Level[w] = level
+						res.Parent[w] = v
+						res.Visited++
+						next = append(next, w)
+					}
+				}
+			}
+		}
+		frontier = next
+		frontierEdges = 0
+		for _, v := range frontier {
+			frontierEdges += deg(v)
+		}
+		if frontierEdges > unexploredEdges {
+			unexploredEdges = 0
+		} else {
+			unexploredEdges -= frontierEdges
+		}
+	}
+	return res, nil
+}

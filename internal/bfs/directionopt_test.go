@@ -1,0 +1,121 @@
+package bfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+)
+
+func TestDirectionOptMatchesClassicOnFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (graph.Meta, []graph.Edge, error)
+		root graph.VertexID
+	}{
+		{"path", func() (graph.Meta, []graph.Edge, error) { return gen.Path(60) }, 0},
+		{"star", func() (graph.Meta, []graph.Edge, error) { return gen.Star(500) }, 0},
+		{"cycle", func() (graph.Meta, []graph.Edge, error) { return gen.Cycle(64) }, 13},
+		{"btree", func() (graph.Meta, []graph.Edge, error) { return gen.BinaryTree(511) }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, edges, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			classic, err := Run(m, edges, tc.root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hybrid, err := RunDirectionOpt(m, edges, tc.root, DefaultDirectionOpt())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Equal(classic, hybrid); err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(m, edges, hybrid); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDirectionOptSwitchesBottomUpOnScaleFree(t *testing.T) {
+	// With an aggressive alpha the hybrid must still be exact on a
+	// scale-free graph whose frontier peak forces the bottom-up phase.
+	m, edges, err := gen.RMAT(11, 16, gen.Graph500(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := graph.VertexID(0)
+	deg := graph.Degrees(m.Vertices, edges)
+	for v, d := range deg {
+		if d > deg[root] {
+			root = graph.VertexID(v)
+		}
+	}
+	classic, err := Run(m, edges, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []DirectionOptConfig{
+		DefaultDirectionOpt(),
+		{Alpha: 1, Beta: 2},       // switches almost immediately
+		{Alpha: 1 << 60, Beta: 1}, // effectively never switches
+	} {
+		hybrid, err := RunDirectionOpt(m, edges, root, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Equal(classic, hybrid); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if err := Validate(m, edges, hybrid); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestDirectionOptZeroConfigUsesDefaults(t *testing.T) {
+	m, edges, _ := gen.BinaryTree(63)
+	res, err := RunDirectionOpt(m, edges, 0, DirectionOptConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 63 {
+		t.Fatalf("visited = %d", res.Visited)
+	}
+}
+
+func TestDirectionOptBadRoot(t *testing.T) {
+	m, edges, _ := gen.Path(5)
+	if _, err := RunDirectionOpt(m, edges, 5, DefaultDirectionOpt()); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func TestDirectionOptProperty(t *testing.T) {
+	f := func(seed int64, rootSeed uint8, alpha, beta uint8) bool {
+		m, edges, err := gen.Uniform(50, 140, seed)
+		if err != nil {
+			return false
+		}
+		root := graph.VertexID(uint64(rootSeed) % m.Vertices)
+		classic, err := Run(m, edges, root)
+		if err != nil {
+			return false
+		}
+		cfg := DirectionOptConfig{Alpha: uint64(alpha)%30 + 1, Beta: uint64(beta)%30 + 1}
+		hybrid, err := RunDirectionOpt(m, edges, root, cfg)
+		if err != nil {
+			return false
+		}
+		return Equal(classic, hybrid) == nil && Validate(m, edges, hybrid) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

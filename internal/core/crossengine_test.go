@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastbfs/internal/bfs"
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/graphchi"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+// TestAllEnginesAgreeProperty is the repository's strongest invariant:
+// on random graphs with randomized configuration, FastBFS, X-Stream,
+// GraphChi and the in-memory reference all produce identical BFS levels
+// and valid parent trees.
+func TestAllEnginesAgreeProperty(t *testing.T) {
+	f := func(seed int64, rootSeed, budgetSeed, bufSeed uint8, twoDisks, delayTrim bool) bool {
+		m, edges, err := gen.Uniform(40+uint64(rootSeed)%30, 120+uint64(budgetSeed), seed)
+		if err != nil {
+			return false
+		}
+		root := graph.VertexID(uint64(rootSeed) % m.Vertices)
+		vol := storage.NewMem()
+		if err := graph.Store(vol, m, edges); err != nil {
+			return false
+		}
+		budget := uint64(512 + int(budgetSeed)*8)
+		bufSize := 128 + int(bufSeed)
+
+		mkSim := func() *xstream.SimConfig {
+			s := xstream.DefaultSim()
+			if twoDisks {
+				s.AuxDisk = disksim.HDD("hdd1")
+			}
+			return s
+		}
+		ref, err := bfs.Run(m, edges, root)
+		if err != nil {
+			return false
+		}
+		check := func(res *xstream.Result, err error) bool {
+			if err != nil {
+				t.Logf("engine error: %v", err)
+				return false
+			}
+			got := &bfs.Result{Root: root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+			if e := bfs.Equal(ref, got); e != nil {
+				t.Logf("mismatch: %v", e)
+				return false
+			}
+			return bfs.Validate(m, edges, got) == nil
+		}
+
+		fbOpts := Options{Base: xstream.Options{
+			Root: root, MemoryBudget: budget, StreamBufSize: bufSize, Sim: mkSim(),
+		}}
+		if delayTrim {
+			fbOpts.TrimStartIteration = 2
+		}
+		if !check(Run(vol, m.Name, fbOpts)) {
+			return false
+		}
+		if !check(xstream.Run(vol, m.Name, xstream.Options{
+			Root: root, MemoryBudget: budget, StreamBufSize: bufSize, Sim: mkSim(),
+		})) {
+			return false
+		}
+		return check(graphchi.Run(vol, m.Name, xstream.Options{
+			Root: root, MemoryBudget: budget, StreamBufSize: bufSize, Sim: mkSim(),
+		}))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginesAgreeOnScaleFreeGraphs repeats the agreement check on the
+// skewed graphs the paper evaluates, including the symmetrized one.
+func TestEnginesAgreeOnScaleFreeGraphs(t *testing.T) {
+	graphs := []func() (graph.Meta, []graph.Edge, error){
+		func() (graph.Meta, []graph.Edge, error) { return gen.RMAT(9, 8, gen.Graph500(), 3) },
+		func() (graph.Meta, []graph.Edge, error) { return gen.TwitterLike(8, 4) },
+		func() (graph.Meta, []graph.Edge, error) { return gen.FriendsterLike(8, 5) },
+	}
+	for _, g := range graphs {
+		m, edges, err := g()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, edges = gen.AddTendrils(m, edges, 4, 7, m.Undirected, 9)
+		vol := storage.NewMem()
+		if err := graph.Store(vol, m, edges); err != nil {
+			t.Fatal(err)
+		}
+		root := maxDegreeVertex(m, edges)
+		ref, err := bfs.Run(m, edges, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := xstream.Options{Root: root, MemoryBudget: 8192, StreamBufSize: 512, Sim: xstream.DefaultSim()}
+
+		fb, err := Run(vol, m.Name, Options{Base: base})
+		if err != nil {
+			t.Fatalf("%s fastbfs: %v", m.Name, err)
+		}
+		base.Sim = xstream.DefaultSim()
+		xs, err := xstream.Run(vol, m.Name, base)
+		if err != nil {
+			t.Fatalf("%s xstream: %v", m.Name, err)
+		}
+		base.Sim = xstream.DefaultSim()
+		gc, err := graphchi.Run(vol, m.Name, base)
+		if err != nil {
+			t.Fatalf("%s graphchi: %v", m.Name, err)
+		}
+		for name, res := range map[string]*xstream.Result{"fastbfs": fb, "xstream": xs, "graphchi": gc} {
+			got := &bfs.Result{Root: root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+			if err := bfs.Equal(ref, got); err != nil {
+				t.Fatalf("%s on %s: %v", name, m.Name, err)
+			}
+			if err := bfs.Validate(m, edges, got); err != nil {
+				t.Fatalf("%s on %s: invalid tree: %v", name, m.Name, err)
+			}
+		}
+	}
+}

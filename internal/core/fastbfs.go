@@ -1,0 +1,562 @@
+// Package core implements FastBFS, the paper's primary contribution: an
+// edge-centric out-of-core BFS engine built by modifying X-Stream
+// (internal/xstream) with
+//
+//  1. asynchronous graph trimming — during every scatter, edges whose
+//     source vertex is already visited are eliminated; the surviving
+//     edges are written to a per-partition *stay file* on a dedicated
+//     writer thread, and the stay file replaces the partition's edge
+//     file as next-iteration input (§II-C1);
+//  2. cross-iteration latency hiding with cancellation — partition p's
+//     stay write only has to finish by p's scatter in the *next*
+//     iteration; if it is still not ready after a short grace period,
+//     the write is cancelled and the previous input is re-read, which is
+//     always correct because the stay list is a subset of it (§II-C2);
+//  3. a configurable trim threshold — trimming can start several
+//     iterations late, or once enough of the graph has converged, to
+//     avoid rewriting a nearly-whole graph for nothing on
+//     high-diameter inputs (§II-C3);
+//  4. coarse-grained selective scheduling — partitions that received no
+//     updates are skipped entirely in the next iteration (§II-C3);
+//  5. two-disk I/O scheduling — in two-disk mode the stay-out stream and
+//     the update streams live on the second disk, and the stay-in /
+//     stay-out roles switch disks every iteration so the big sequential
+//     read and the big sequential write never share a spindle (§IV-C3).
+//
+// The trim rule used here is "eliminate iff the source vertex is
+// visited", which is equivalent to the paper's "eliminate if processing
+// generated an update" when the input is the immediately previous stay
+// list, and remains correct when a cancellation forces re-reading an
+// older input (see DESIGN.md).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastbfs/internal/graph"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/stream"
+	"fastbfs/internal/xstream"
+)
+
+// EngineName identifies FastBFS in metrics and file prefixes.
+const EngineName = "fastbfs"
+
+// Options configures a FastBFS run. Base holds the X-Stream-inherited
+// settings (root, memory budget, threads, buffers, simulation).
+type Options struct {
+	Base xstream.Options
+
+	// TrimStartIteration delays trimming until the given iteration
+	// ("the easiest way to avoid this squander of resources is to start
+	// the graph trimming several iterations later", §II-C3).
+	TrimStartIteration int
+	// TrimVisitedFraction additionally requires that at least this
+	// fraction of vertices be visited before trimming starts ("till the
+	// stay list shrinks to a relatively small proportion").
+	TrimVisitedFraction float64
+	// DisableTrimming turns the stay-file mechanism off entirely
+	// (ablation: FastBFS degenerates to X-Stream plus selective
+	// scheduling).
+	DisableTrimming bool
+	// DisableSelectiveScheduling makes every partition load, gather and
+	// scatter every iteration, as X-Stream does (ablation).
+	DisableSelectiveScheduling bool
+
+	// StayBufSize and StayBufCount size the stay writer's private edge
+	// buffers (§III: "the edge buffer count and size are made tunable").
+	// Defaults: the stream buffer size, and 8 buffers.
+	StayBufSize  int
+	StayBufCount int
+
+	// GracePeriod is how long (virtual seconds) a scatter waits for its
+	// partition's late stay file before cancelling (§II-C2). Default
+	// 50 ms.
+	GracePeriod float64
+	// GraceWall is the wall-clock grace period in real-disk mode.
+	// Default 50 ms.
+	GraceWall time.Duration
+}
+
+// SetDefaults fills unset fields.
+func (o *Options) SetDefaults() {
+	o.Base.SetDefaults(EngineName)
+	if o.StayBufSize == 0 {
+		o.StayBufSize = o.Base.StreamBufSize
+	}
+	if o.StayBufCount == 0 {
+		o.StayBufCount = 8
+	}
+	if o.GracePeriod == 0 {
+		o.GracePeriod = 0.05
+	}
+	if o.GraceWall == 0 {
+		o.GraceWall = 50 * time.Millisecond
+	}
+}
+
+// Result is the FastBFS output (same shape as X-Stream's).
+type Result = xstream.Result
+
+// Run executes FastBFS over the stored graph graphName on vol.
+func Run(vol storage.Volume, graphName string, opts Options) (*Result, error) {
+	opts.SetDefaults()
+	rt, err := xstream.NewRuntime(vol, graphName, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	if rt.Meta.Weighted {
+		return nil, fmt.Errorf("fastbfs: BFS takes unweighted graphs; %s is weighted", graphName)
+	}
+	defer rt.Cleanup()
+	if rt.InMemory() {
+		return runInMemory(rt, opts)
+	}
+	e := &engine{rt: rt, opts: opts}
+	return e.run()
+}
+
+// partState tracks one partition's edge input and pending stay write.
+type partState struct {
+	// input is the current edge-input file; inputTiming carries the
+	// device it lives on (the "stay stream in" side).
+	input       string
+	inputTiming stream.Timing
+	// pending is the stay file written during this partition's previous
+	// scatter, still owned by the background writer.
+	pending       *stream.StayFile
+	pendingTiming stream.Timing
+	// updates is the number of updates routed to this partition by the
+	// last scatter phase; selective scheduling skips the partition when
+	// it is zero.
+	updates int64
+	// frontier is the number of vertices newly discovered in this
+	// partition's last gather (the partition's share of the frontier).
+	frontier uint64
+}
+
+type engine struct {
+	rt    *xstream.Runtime
+	opts  Options
+	sw    *stream.StayWriter
+	parts []partState
+
+	visited       uint64
+	cancellations int
+	skipped       int
+	trimmed       int64
+}
+
+// mainTiming and auxTiming mirror the Runtime helpers.
+func (e *engine) mainTiming() stream.Timing { return e.rt.MainTiming() }
+func (e *engine) auxTiming() stream.Timing  { return e.rt.AuxTiming() }
+
+// otherTiming returns the device the stay-out stream should use: a
+// dedicated stay disk when configured, otherwise the opposite disk from
+// t in two-disk mode (the per-iteration role switch); with one disk it
+// is t itself.
+func (e *engine) otherTiming(t stream.Timing) stream.Timing {
+	sim := e.rt.Opts.Sim
+	if sim == nil {
+		return t
+	}
+	if sim.StayDisk != nil {
+		return stream.Timing{Clock: e.rt.Clock, Device: sim.StayDisk}
+	}
+	if sim.AuxDisk == nil {
+		return t
+	}
+	if t.Device == sim.AuxDisk {
+		return e.mainTiming()
+	}
+	return e.auxTiming()
+}
+
+func (e *engine) run() (*Result, error) {
+	run := metrics.Run{Engine: EngineName}
+	if _, err := e.rt.Prepare(); err != nil {
+		return nil, err
+	}
+	e.sw = stream.NewStayWriter(e.rt.Vol, e.opts.StayBufSize, e.opts.StayBufCount)
+	defer e.sw.Shutdown()
+	defer e.drainPending()
+
+	e.parts = make([]partState, e.rt.Parts.P())
+	for p := range e.parts {
+		e.parts[p].input = e.rt.EdgeFile(p)
+		e.parts[p].inputTiming = e.mainTiming()
+	}
+
+	maxIter := e.rt.Opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = int(e.rt.Meta.Vertices) + 1
+	}
+	in, out := 0, 1
+
+	for iter := 0; iter < maxIter; iter++ {
+		trimNow := e.trimActive(iter)
+		sh, err := stream.NewShuffler(e.rt.Vol, e.rt.Parts, e.auxTiming(), e.rt.Opts.StreamBufSize,
+			func(p int) string { return e.rt.UpdateFile(out, p) })
+		if err != nil {
+			return nil, err
+		}
+		sh.SetAsync() // update streams are write-behind with a gather barrier
+		itRow := metrics.Iteration{Index: iter, TrimActive: trimNow}
+
+		for p := 0; p < e.rt.Parts.P(); p++ {
+			if err := e.iteratePartition(p, iter, trimNow, sh, &itRow); err != nil {
+				sh.Abort()
+				return nil, err
+			}
+		}
+
+		counts := sh.Counts()
+		var emittedTotal int64
+		for _, c := range counts {
+			emittedTotal += c
+		}
+		if err := sh.Close(); err != nil {
+			return nil, err
+		}
+		for p := range e.parts {
+			e.parts[p].updates = counts[p]
+		}
+		var shBytes int64
+		for _, b := range sh.BytesPerPartition() {
+			shBytes += b
+		}
+		e.rt.BytesWritten += shBytes
+		for p, op := range sh.LastOps() {
+			e.rt.RegisterReady(e.rt.UpdateFile(out, p), op)
+		}
+
+		itRow.Frontier = itRow.NewlyVisited
+		if iter == 0 {
+			itRow.Frontier = 1
+		}
+		run.Iterations = append(run.Iterations, itRow)
+
+		if iter > 0 {
+			for p := 0; p < e.rt.Parts.P(); p++ {
+				e.rt.Vol.Remove(e.rt.UpdateFile(in, p))
+			}
+		}
+		in, out = out, in
+
+		if emittedTotal == 0 {
+			break
+		}
+	}
+
+	res, err := e.rt.CollectResult()
+	if err != nil {
+		return nil, err
+	}
+	res.Visited = e.visited
+	run.Visited = e.visited
+	run.Cancellations = e.cancellations
+	run.Skipped = e.skipped
+	run.TrimmedEdges = e.trimmed
+	run.StayBufferWaits = e.sw.BufferWaits()
+	e.rt.FinishMetrics(&run)
+	res.Metrics = run
+	return res, nil
+}
+
+// iteratePartition runs partition p's share of one iteration: gather the
+// updates addressed to it, then scatter its edge input (adopting or
+// cancelling the pending stay file), writing a new stay file if trimming
+// is active.
+func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler, itRow *metrics.Iteration) error {
+	st := &e.parts[p]
+	rootHere := iter == 0 && e.rt.Parts.Contains(p, e.rt.Opts.Root)
+
+	// Selective scheduling (§II-C3): a partition with no incoming
+	// updates and no frontier has nothing to do this iteration.
+	idle := iter > 0 && st.updates == 0 || iter == 0 && !rootHere
+	if idle && !e.opts.DisableSelectiveScheduling && iter > 0 {
+		st.frontier = 0
+		itRow.SkippedPartitions++
+		e.skipped++
+		return nil
+	}
+
+	// Resolve and open the scatter input ahead of the gather: the
+	// pending stay file's adopt-or-cancel decision happens as the
+	// partition's processing starts (§II-C2), and the opened scanner's
+	// read-ahead overlaps the update streaming.
+	input, inputTiming := e.resolveInput(p, itRow)
+	e.rt.AwaitFile(input)
+	edgeScan, err := stream.NewEdgeScanner(e.rt.Vol, input, inputTiming, e.rt.Opts.StreamBufSize)
+	if err != nil {
+		return err
+	}
+	edgeScan.Prefetch(e.rt.Opts.PrefetchBuffers)
+
+	var v *xstream.Verts
+	if iter == 0 {
+		v = e.rt.InitVerts(p)
+		if e.rt.MarkRoot(v) {
+			st.frontier = 1
+			e.visited++
+			itRow.NewlyVisited++
+		} else {
+			st.frontier = 0
+		}
+	} else {
+		v, err = e.rt.LoadVerts(p)
+		if err != nil {
+			edgeScan.Close()
+			return err
+		}
+		newly, applied, err := e.gather(v, e.rt.UpdateFile(iterIn(iter), p), uint32(iter))
+		if err != nil {
+			edgeScan.Close()
+			return err
+		}
+		st.frontier = newly
+		e.visited += newly
+		itRow.NewlyVisited += newly
+		itRow.Updates += applied
+	}
+
+	// Scatter only when this partition holds frontier vertices (unless
+	// the ablation disables selective scheduling).
+	doScatter := st.frontier > 0 || e.opts.DisableSelectiveScheduling
+	if doScatter {
+		var stay *stream.StayFile
+		if trimNow {
+			stayTiming := e.otherTiming(inputTiming)
+			stay, err = e.sw.Begin(e.rt.StayFile(iter, p), stayTiming)
+			if err != nil {
+				edgeScan.Close()
+				return err
+			}
+			st.pendingTiming = stayTiming
+		}
+		scanned, stayed, err := e.scatter(v, edgeScan, uint32(iter), sh, stay)
+		if err != nil {
+			if stay != nil {
+				stay.Close()
+				stay.Discard()
+			}
+			return err
+		}
+		itRow.EdgesStreamed += scanned
+		if stay != nil {
+			if err := stay.Close(); err != nil {
+				return err
+			}
+			st.pending = stay
+			itRow.StayEdges += stayed
+			e.trimmed += scanned - stayed
+		}
+	} else {
+		// The speculative input open is abandoned; Close cancels its
+		// read-ahead with a device refund.
+		edgeScan.Close()
+		if iter > 0 {
+			itRow.SkippedPartitions++
+			e.skipped++
+		}
+	}
+
+	// Save vertex state when it changed (gather applied something or
+	// this is the initializing iteration).
+	if iter == 0 || st.frontier > 0 || e.opts.DisableSelectiveScheduling {
+		if err := e.rt.SaveVerts(p, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// iterIn maps an iteration to the update-stream set it consumes.
+func iterIn(iter int) int {
+	if iter%2 == 1 {
+		return 1
+	}
+	return 0
+}
+
+// resolveInput decides partition p's edge input for this scatter: adopt
+// the pending stay file if its background write is (or will shortly be)
+// done, otherwise cancel it and fall back to the previous input — the
+// paper's grace-and-cancel policy (§II-C2).
+func (e *engine) resolveInput(p int, itRow *metrics.Iteration) (string, stream.Timing) {
+	st := &e.parts[p]
+	f := st.pending
+	if f == nil {
+		return st.input, st.inputTiming
+	}
+	st.pending = nil
+	adopt := false
+	if clock := e.rt.Clock; clock != nil {
+		if f.ReadyAt() <= clock.Now()+e.opts.GracePeriod {
+			clock.WaitUntil(f.ReadyAt())
+			if err := f.Use(); err == nil {
+				adopt = true
+			}
+		}
+	} else {
+		if ok, err := f.TryUse(e.opts.GraceWall); ok && err == nil {
+			adopt = true
+		}
+	}
+	if !adopt {
+		f.Discard()
+		e.cancellations++
+		itRow.Cancelled++
+		return st.input, st.inputTiming
+	}
+	if st.input != f.Name() {
+		e.rt.Vol.Remove(st.input) // replaced: "FastBFS replaces the previous files ... with the new stay files" (§II-A)
+	}
+	// The adopted stay file's bytes are the write amount trimming really
+	// added (cancelled writes were refunded on the device timeline).
+	e.rt.BytesWritten += f.Count() * graph.EdgeBytes
+	st.input = f.Name()
+	st.inputTiming = st.pendingTiming
+	return st.input, st.inputTiming
+}
+
+// gather streams partition updates and marks unvisited destinations.
+func (e *engine) gather(v *xstream.Verts, updFile string, level uint32) (newly uint64, applied int64, err error) {
+	e.rt.AwaitFile(updFile)
+	sc, err := stream.NewUpdateScanner(e.rt.Vol, updFile, e.auxTiming(), e.rt.Opts.StreamBufSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sc.Close()
+	for {
+		u, ok, err := sc.Next()
+		if err != nil {
+			return newly, applied, err
+		}
+		if !ok {
+			break
+		}
+		applied++
+		i := int(u.Dst - v.Lo)
+		if i < 0 || i >= len(v.Level) {
+			return newly, applied, fmt.Errorf("fastbfs: update %v outside partition [%d,%d)", u, v.Lo, int(v.Lo)+len(v.Level))
+		}
+		if v.Level[i] == xstream.NoLevel {
+			v.Level[i] = level
+			v.Parent[i] = u.Parent
+			newly++
+		}
+	}
+	e.rt.BytesRead += sc.BytesRead()
+	e.rt.Compute(float64(applied) * e.rt.Costs.GatherPerUpdate)
+	return newly, applied, nil
+}
+
+// scatter streams the edge input: frontier sources emit updates; when
+// stay is non-nil, edges with unvisited sources are appended to it (the
+// trim rule — a visited source can never produce a future update).
+func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler, stay *stream.StayFile) (scanned, stayed int64, err error) {
+	defer sc.Close()
+	var emitted int64
+	for {
+		edge, ok, err := sc.Next()
+		if err != nil {
+			return scanned, stayed, err
+		}
+		if !ok {
+			break
+		}
+		scanned++
+		i := int(edge.Src - v.Lo)
+		if i < 0 || i >= len(v.Level) {
+			return scanned, stayed, fmt.Errorf("fastbfs: edge %v outside partition [%d,%d)", edge, v.Lo, int(v.Lo)+len(v.Level))
+		}
+		if v.Level[i] == iter {
+			if err := sh.Append(graph.Update{Dst: edge.Dst, Parent: edge.Src}); err != nil {
+				return scanned, stayed, err
+			}
+			emitted++
+		}
+		if stay != nil && v.Level[i] == xstream.NoLevel {
+			if err := stay.Append(edge); err != nil {
+				return scanned, stayed, err
+			}
+			stayed++
+		}
+	}
+	e.rt.BytesRead += sc.BytesRead()
+	work := float64(scanned)*e.rt.Costs.ScatterPerEdge + float64(emitted)*e.rt.Costs.AppendPerUpdate
+	if stay != nil {
+		work += float64(stayed) * e.rt.Costs.AppendPerStay
+	}
+	e.rt.Compute(work)
+	return scanned, stayed, nil
+}
+
+// trimActive applies the trim-threshold policy (§II-C3).
+func (e *engine) trimActive(iter int) bool {
+	if e.opts.DisableTrimming {
+		return false
+	}
+	if iter < e.opts.TrimStartIteration {
+		return false
+	}
+	if e.opts.TrimVisitedFraction > 0 {
+		frac := float64(e.visited) / float64(e.rt.Meta.Vertices)
+		if frac < e.opts.TrimVisitedFraction {
+			return false
+		}
+	}
+	return true
+}
+
+// drainPending resolves stay files still owned by the writer when the
+// run ends (their partitions never scattered again).
+func (e *engine) drainPending() {
+	for p := range e.parts {
+		if f := e.parts[p].pending; f != nil {
+			f.Discard()
+			e.parts[p].pending = nil
+		}
+	}
+}
+
+// runInMemory reuses X-Stream's in-memory fast path with an in-memory
+// trim step: after each iteration, edges whose source is already visited
+// (level below the next frontier's) are compacted away — NoLevel is the
+// maximum uint32, so "keep iff level[src] >= next frontier level" keeps
+// exactly the unvisited and just-discovered sources.
+func runInMemory(rt *xstream.Runtime, opts Options) (*Result, error) {
+	if opts.DisableTrimming {
+		return xstream.RunInMemory(rt, EngineName, nil)
+	}
+	next := uint32(0)
+	visited := uint64(1)
+	trim := func(edges []graph.Edge, level []uint32) []graph.Edge {
+		next++
+		if int(next)-1 < opts.TrimStartIteration {
+			return edges
+		}
+		if opts.TrimVisitedFraction > 0 {
+			visited = 0
+			for _, l := range level {
+				if l != xstream.NoLevel {
+					visited++
+				}
+			}
+			if float64(visited)/float64(rt.Meta.Vertices) < opts.TrimVisitedFraction {
+				return edges
+			}
+		}
+		out := edges[:0]
+		for _, e := range edges {
+			if level[e.Src] >= next {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	return xstream.RunInMemory(rt, EngineName, trim)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+// Fault-injection tests: storage failures must surface as errors from
+// Run — never panics, never silently wrong results — and the engine must
+// not leak working files beyond what the failure interrupted.
+
+func storedGraph(t *testing.T) (*storage.Mem, graph.Meta) {
+	t.Helper()
+	vol := storage.NewMem()
+	m, edges, err := gen.RMAT(8, 8, gen.Graph500(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Store(vol, m, edges); err != nil {
+		t.Fatal(err)
+	}
+	return vol, m
+}
+
+func TestRunSurfacesUpdateWriteFailure(t *testing.T) {
+	vol, m := storedGraph(t)
+	boom := errors.New("update disk full")
+	vol.FailWrites(func(name string, written int64) error {
+		if strings.Contains(name, "_upd") {
+			return boom
+		}
+		return nil
+	})
+	_, err := Run(vol, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestRunSurfacesVertexWriteFailure(t *testing.T) {
+	vol, m := storedGraph(t)
+	boom := errors.New("vertex disk full")
+	vol.FailWrites(func(name string, written int64) error {
+		if strings.Contains(name, "_vtx_") {
+			return boom
+		}
+		return nil
+	})
+	_, err := Run(vol, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestRunSurvivesStayWriteFailure(t *testing.T) {
+	// A failing stay write must NOT fail the run: the stay file is an
+	// optimization; the engine falls back to the previous input, exactly
+	// like a cancellation.
+	vol, m := storedGraph(t)
+	boom := errors.New("stay disk full")
+	vol.FailWrites(func(name string, written int64) error {
+		if strings.Contains(name, "_stay") {
+			return boom
+		}
+		return nil
+	})
+	res, err := Run(vol, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}})
+	if err != nil {
+		t.Fatalf("stay-write failure killed the run: %v", err)
+	}
+	// Must match a healthy run's result.
+	vol2, _ := storedGraph(t)
+	want, err := Run(vol2, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != want.Visited {
+		t.Fatalf("visited %d after stay failures, want %d", res.Visited, want.Visited)
+	}
+	if res.Metrics.Cancellations == 0 {
+		t.Fatal("failed stay writes should be recorded as cancellations")
+	}
+}
+
+func TestRunSurfacesPrepareFailure(t *testing.T) {
+	vol, m := storedGraph(t)
+	boom := errors.New("no space at all")
+	vol.FailWrites(func(name string, written int64) error { return boom })
+	_, err := Run(vol, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, Sim: xstream.DefaultSim()}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	// Only the dataset survives; no half-written working files.
+	for _, f := range vol.List() {
+		if f != graph.EdgeFileName(m.Name) && f != graph.ConfFileName(m.Name) {
+			t.Errorf("leftover file %s after failed run", f)
+		}
+	}
+}
+
+func TestXStreamSurfacesWriteFailureToo(t *testing.T) {
+	vol, m := storedGraph(t)
+	boom := errors.New("boom")
+	vol.FailWrites(func(name string, written int64) error {
+		if strings.Contains(name, "_upd") {
+			return boom
+		}
+		return nil
+	})
+	_, err := xstream.Run(vol, m.Name, xstream.Options{MemoryBudget: 4096, Sim: xstream.DefaultSim()})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestWallModeCancellationViaSlowWriter(t *testing.T) {
+	// Wall-clock mode: delay the real stay-writer goroutine so TryUse
+	// times out, exercising the real-time cancellation path end-to-end.
+	vol, m := storedGraph(t)
+	vol.FailWrites(func(name string, written int64) error {
+		if strings.Contains(name, "_stay") {
+			// Slow, not failing: the hook runs on the writer goroutine.
+			time.Sleep(3 * time.Millisecond)
+		}
+		return nil
+	})
+	opts := Options{
+		Base:      xstream.Options{MemoryBudget: 4096, StreamBufSize: 256},
+		GraceWall: 1, // nanoseconds: effectively immediate timeout
+	}
+	res, err := Run(vol, m.Name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol2, _ := storedGraph(t)
+	want, err := Run(vol2, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != want.Visited {
+		t.Fatalf("visited %d with slow stay writer, want %d", res.Visited, want.Visited)
+	}
+	if res.Metrics.Cancellations == 0 {
+		t.Fatal("expected wall-mode cancellations with a slow stay writer and ~zero grace")
+	}
+}

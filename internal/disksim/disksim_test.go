@@ -1,0 +1,377 @@
+package disksim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDeviceOpTime(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0.01, Bandwidth: 100}
+	if got := d.opTime(50, 0); !approx(got, 0.51) {
+		t.Fatalf("opTime = %v, want 0.51", got)
+	}
+	if got := d.opTime(0, 0); !approx(got, 0.01) {
+		t.Fatalf("opTime(0) = %v, want seek only", got)
+	}
+}
+
+func TestSyncReadAdvancesClockAndCountsIOWait(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0.001, Bandwidth: 1000}
+	c := NewClock(DefaultCPU(), 1)
+	c.Read(d, 500, 0) // 0.001 + 0.5 = 0.501
+	if !approx(c.Now(), 0.501) {
+		t.Fatalf("Now = %v, want 0.501", c.Now())
+	}
+	if !approx(c.IOWait(), 0.501) {
+		t.Fatalf("IOWait = %v, want 0.501", c.IOWait())
+	}
+	if d.BytesRead() != 500 || d.BytesWritten() != 0 {
+		t.Fatalf("counters: read=%d written=%d", d.BytesRead(), d.BytesWritten())
+	}
+}
+
+func TestForegroundOpsSerialize(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	c.Read(d, 100, 0)
+	c.Read(d, 100, 0)
+	if !approx(c.Now(), 2.0) {
+		t.Fatalf("two 1s reads: Now = %v, want 2.0", c.Now())
+	}
+}
+
+func TestBackgroundWriteDoesNotStallClock(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	op := c.WriteAsync(d, 100, 0)
+	if c.Now() != 0 {
+		t.Fatalf("async write advanced the clock to %v", c.Now())
+	}
+	// Idle device: the write drains at full rate, completing at t=1.
+	if got := c.BgCompletion(op); !approx(got, 1.0) {
+		t.Fatalf("completion = %v, want 1.0", got)
+	}
+}
+
+func TestBackgroundSharesDeviceWithForeground(t *testing.T) {
+	// bg 1s + fg 0.5s issued together: fair sharing drains the smaller
+	// foreground queue at t=1.0 (half rate), and the background at 1.5.
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	op := c.WriteAsync(d, 100, 0)
+	c.Read(d, 50, 0)
+	if !approx(c.Now(), 1.0) {
+		t.Fatalf("contended read: Now = %v, want 1.0", c.Now())
+	}
+	if got := c.BgCompletion(op); !approx(got, 1.5) {
+		t.Fatalf("bg completion = %v, want 1.5", got)
+	}
+	if !op.Done(2.0) {
+		t.Fatal("op not done after its completion time")
+	}
+}
+
+func TestBackgroundDrainsDuringCompute(t *testing.T) {
+	// The essence of the paper's latency hiding: a background stay write
+	// costs nothing when compute covers it.
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(CPU{Cores: 1}, 1)
+	op := c.WriteAsync(d, 100, 0) // 1s of service
+	c.Compute(2.0)                // clock at 2; device idle the whole time
+	c.WaitUntil(c.BgCompletion(op))
+	if !approx(c.Now(), 2.0) || c.IOWait() != 0 {
+		t.Fatalf("hidden write still cost time: Now=%v IOWait=%v", c.Now(), c.IOWait())
+	}
+}
+
+func TestTwoDevicesDoNotContend(t *testing.T) {
+	d1 := &Device{Name: "a", SeekLatency: 0, Bandwidth: 100}
+	d2 := &Device{Name: "b", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	c.WriteAsync(d2, 100, 0)
+	c.Read(d1, 50, 0)
+	if !approx(c.Now(), 0.5) {
+		t.Fatalf("read on idle disk: Now = %v, want 0.5", c.Now())
+	}
+}
+
+func TestOneDiskVsTwoDisks(t *testing.T) {
+	// Fig. 10 in miniature: equal-sized background write and foreground
+	// read take 2s sharing one disk, 1s on separate disks.
+	oneDisk := func() float64 {
+		d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+		c := NewClock(DefaultCPU(), 1)
+		c.WriteAsync(d, 100, 0)
+		c.Read(d, 100, 0)
+		return c.Now()
+	}()
+	twoDisk := func() float64 {
+		d1 := &Device{Name: "d1", SeekLatency: 0, Bandwidth: 100}
+		d2 := &Device{Name: "d2", SeekLatency: 0, Bandwidth: 100}
+		c := NewClock(DefaultCPU(), 1)
+		c.WriteAsync(d2, 100, 0)
+		c.Read(d1, 100, 0)
+		return c.Now()
+	}()
+	if !approx(oneDisk, 2.0) || !approx(twoDisk, 1.0) {
+		t.Fatalf("oneDisk=%v twoDisk=%v, want 2.0 / 1.0", oneDisk, twoDisk)
+	}
+}
+
+func TestBackgroundOpsCompleteFIFO(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	a := c.WriteAsync(d, 100, 0)
+	b := c.WriteAsync(d, 100, 0)
+	ca, cb := c.BgCompletion(a), c.BgCompletion(b)
+	if !approx(ca, 1.0) || !approx(cb, 2.0) {
+		t.Fatalf("completions %v, %v; want 1.0, 2.0", ca, cb)
+	}
+}
+
+func TestCancelRefundsUnwrittenBytes(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	op := c.WriteAsync(d, 100, 0)
+	if d.BytesWritten() != 100 {
+		t.Fatalf("bytesWritten = %d at issue", d.BytesWritten())
+	}
+	// Cancel immediately: nothing transferred yet, full refund.
+	refund := c.CancelAsync(op)
+	if refund != 100 || d.BytesWritten() != 0 {
+		t.Fatalf("refund = %d, bytesWritten = %d", refund, d.BytesWritten())
+	}
+	// Cancelling frees the device: a read now completes at full rate.
+	c.Read(d, 100, 0)
+	if !approx(c.Now(), 1.0) {
+		t.Fatalf("read after cancel: Now = %v, want 1.0", c.Now())
+	}
+}
+
+func TestCancelMidwayRefundsProportionally(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	op := c.WriteAsync(d, 100, 0) // 1s service
+	c.Compute(0.5)                // device idle: half transferred by t=0.5
+	refund := c.CancelAsync(op)
+	if refund != 50 {
+		t.Fatalf("refund = %d, want 50", refund)
+	}
+	if d.BytesWritten() != 50 {
+		t.Fatalf("bytesWritten = %d, want 50", d.BytesWritten())
+	}
+}
+
+func TestCancelCompletedOpRefundsNothing(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	op := c.WriteAsync(d, 100, 0)
+	c.Compute(2.0)
+	if refund := c.CancelAsync(op); refund != 0 {
+		t.Fatalf("refund = %d for a completed write", refund)
+	}
+	if d.BytesWritten() != 100 {
+		t.Fatalf("bytesWritten = %d", d.BytesWritten())
+	}
+}
+
+func TestCancelMiddleOfQueueShiftsLaterOps(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	a := c.WriteAsync(d, 100, 0)
+	b := c.WriteAsync(d, 100, 0)
+	cc := c.WriteAsync(d, 100, 0)
+	c.CancelAsync(b)
+	if got := c.BgCompletion(a); !approx(got, 1.0) {
+		t.Fatalf("a completes at %v, want 1.0", got)
+	}
+	if got := c.BgCompletion(cc); !approx(got, 2.0) {
+		t.Fatalf("c completes at %v after cancelling b, want 2.0", got)
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	c := NewClock(DefaultCPU(), 1)
+	c.WaitUntil(2.0)
+	if !approx(c.Now(), 2.0) || !approx(c.IOWait(), 2.0) {
+		t.Fatalf("Now=%v IOWait=%v", c.Now(), c.IOWait())
+	}
+	c.WaitUntil(1.0)
+	if !approx(c.Now(), 2.0) {
+		t.Fatalf("WaitUntil(past) moved clock to %v", c.Now())
+	}
+}
+
+func TestComputeScalesWithThreads(t *testing.T) {
+	cpu := CPU{Cores: 4, ThreadOverhead: 0.05}
+	if got := cpu.Scale(1.0, 1); !approx(got, 1.0) {
+		t.Errorf("1 thread: %v", got)
+	}
+	if got := cpu.Scale(1.0, 2); !approx(got, 0.5) {
+		t.Errorf("2 threads: %v", got)
+	}
+	if got := cpu.Scale(1.0, 4); !approx(got, 0.25) {
+		t.Errorf("4 threads: %v", got)
+	}
+	got8 := cpu.Scale(1.0, 8)
+	if !approx(got8, 0.3) {
+		t.Errorf("8 threads: %v, want 0.3", got8)
+	}
+	if got8 <= cpu.Scale(1.0, 4) {
+		t.Error("oversubscription should be slower than cores")
+	}
+	if got := cpu.Scale(1.0, 0); !approx(got, 1.0) {
+		t.Errorf("0 threads clamps to 1: %v", got)
+	}
+}
+
+func TestComputeAccounting(t *testing.T) {
+	c := NewClock(CPU{Cores: 4}, 2)
+	c.Compute(1.0)
+	c.ComputeSerial(0.1)
+	if !approx(c.Now(), 0.6) || !approx(c.ComputeTime(), 0.6) || c.IOWait() != 0 {
+		t.Fatalf("Now=%v Compute=%v IOWait=%v", c.Now(), c.ComputeTime(), c.IOWait())
+	}
+}
+
+func TestIOWaitRatio(t *testing.T) {
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(CPU{Cores: 1}, 1)
+	c.Compute(1.0)
+	c.Read(d, 100, 0)
+	if !approx(c.IOWaitRatio(), 0.5) {
+		t.Fatalf("IOWaitRatio = %v, want 0.5", c.IOWaitRatio())
+	}
+	empty := NewClock(DefaultCPU(), 1)
+	if empty.IOWaitRatio() != 0 {
+		t.Fatal("empty clock ratio should be 0")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	h, s := HDD("h"), SSD("s")
+	if h.SeekLatency <= s.SeekLatency {
+		t.Error("HDD seek should exceed SSD seek")
+	}
+	if h.Bandwidth >= s.Bandwidth {
+		t.Error("SSD bandwidth should exceed HDD bandwidth")
+	}
+	if h.Name != "h" || s.Name != "s" {
+		t.Error("names not set")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := HDD("d")
+	c := NewClock(DefaultCPU(), 1)
+	c.Read(d, 1000, 0)
+	c.WriteAsync(d, 1000, 0)
+	d.Reset()
+	if d.BytesRead() != 0 || d.BytesWritten() != 0 || d.BusyTime() != 0 || d.Ops() != 0 || d.IdleAt() != 0 {
+		t.Fatalf("reset device not clean: %+v", d)
+	}
+}
+
+func TestNegativeSizesPanic(t *testing.T) {
+	d := HDD("d")
+	c := NewClock(DefaultCPU(), 1)
+	for name, fn := range map[string]func(){
+		"read":       func() { c.Read(d, -1, 0) },
+		"writeSync":  func() { c.WriteSync(d, -1, 0) },
+		"writeAsync": func() { c.WriteAsync(d, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic for negative size", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Whatever sequence of operations runs, the clock never goes
+	// backwards, iowait+compute never exceeds elapsed time, and
+	// projected background completions are never in the past.
+	f := func(ops []uint16) bool {
+		d1, d2 := HDD("d1"), SSD("d2")
+		c := NewClock(DefaultCPU(), 2)
+		var bg []*AsyncOp
+		prev := 0.0
+		for i, op := range ops {
+			n := int64(op)
+			switch i % 6 {
+			case 0:
+				c.Read(d1, n, 0)
+			case 1:
+				c.WriteSync(d2, n, 0)
+			case 2:
+				bg = append(bg, c.WriteAsync(d1, n, 0))
+			case 3:
+				c.Compute(float64(op) * 1e-6)
+			case 4:
+				c.WaitUntil(float64(op) * 1e-4)
+			case 5:
+				if len(bg) > 0 {
+					// A pending op's projected completion is never in
+					// the past; a done op's is its actual finish time.
+					if !bg[0].Done(c.Now()) && c.BgCompletion(bg[0]) < c.Now()-1e-9 {
+						return false
+					}
+					if i%2 == 0 {
+						c.CancelAsync(bg[0])
+					}
+					bg = bg[1:]
+				}
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return c.IOWait()+c.ComputeTime() <= c.Now()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBgCompletionMonotoneUnderForegroundLoad(t *testing.T) {
+	// A projection made early must never be later than reality: issuing
+	// more foreground work can only delay a pending background op.
+	d := &Device{Name: "d", SeekLatency: 0, Bandwidth: 100}
+	c := NewClock(DefaultCPU(), 1)
+	op := c.WriteAsync(d, 1000, 0) // 10s service
+	early := c.BgCompletion(op)
+	c.Read(d, 500, 0) // 5s foreground contends
+	late := c.BgCompletion(op)
+	if !(late >= early) {
+		t.Fatalf("projection went backwards: %v -> %v", early, late)
+	}
+}
+
+func TestDeviceBusyNeverExceedsElapsed(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		d := HDD("d")
+		c := NewClock(DefaultCPU(), 1)
+		for i, s := range sizes {
+			if i%2 == 0 {
+				c.Read(d, int64(s), 0)
+			} else {
+				c.WriteAsync(d, int64(s), 0)
+			}
+		}
+		// Busy time accrues only up to the device's advanced time.
+		return d.BusyTime() <= d.IdleAt()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file implements the raw binary edge-list format the FastBFS paper
+// stores graphs in ("FastBFS organizes the original graph in a raw edge
+// list format, which is stored as a binary file in order to reduce the
+// data size", §III). All integers are little-endian.
+
+// PutEdge encodes e into b, which must be at least EdgeBytes long.
+func PutEdge(b []byte, e Edge) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(e.Src))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(e.Dst))
+}
+
+// GetEdge decodes an Edge from b, which must be at least EdgeBytes long.
+func GetEdge(b []byte) Edge {
+	return Edge{
+		Src: VertexID(binary.LittleEndian.Uint32(b[0:4])),
+		Dst: VertexID(binary.LittleEndian.Uint32(b[4:8])),
+	}
+}
+
+// PutWEdge encodes e into b, which must be at least WEdgeBytes long.
+func PutWEdge(b []byte, e WEdge) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(e.Src))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(e.Dst))
+	binary.LittleEndian.PutUint32(b[8:12], math.Float32bits(e.Weight))
+}
+
+// GetWEdge decodes a WEdge from b, which must be at least WEdgeBytes long.
+func GetWEdge(b []byte) WEdge {
+	return WEdge{
+		Src:    VertexID(binary.LittleEndian.Uint32(b[0:4])),
+		Dst:    VertexID(binary.LittleEndian.Uint32(b[4:8])),
+		Weight: math.Float32frombits(binary.LittleEndian.Uint32(b[8:12])),
+	}
+}
+
+// PutUpdate encodes u into b, which must be at least UpdateBytes long.
+func PutUpdate(b []byte, u Update) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(u.Dst))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(u.Parent))
+}
+
+// GetUpdate decodes an Update from b, which must be at least UpdateBytes long.
+func GetUpdate(b []byte) Update {
+	return Update{
+		Dst:    VertexID(binary.LittleEndian.Uint32(b[0:4])),
+		Parent: VertexID(binary.LittleEndian.Uint32(b[4:8])),
+	}
+}
+
+// WEdgesToBytes encodes weighted edges into a fresh byte slice.
+func WEdgesToBytes(edges []WEdge) []byte {
+	b := make([]byte, len(edges)*WEdgeBytes)
+	for i, e := range edges {
+		PutWEdge(b[i*WEdgeBytes:], e)
+	}
+	return b
+}
+
+// BytesToWEdges decodes a byte slice produced by WEdgesToBytes.
+func BytesToWEdges(b []byte) ([]WEdge, error) {
+	if len(b)%WEdgeBytes != 0 {
+		return nil, fmt.Errorf("graph: %d bytes is not a whole number of weighted edges", len(b))
+	}
+	edges := make([]WEdge, len(b)/WEdgeBytes)
+	for i := range edges {
+		edges[i] = GetWEdge(b[i*WEdgeBytes:])
+	}
+	return edges, nil
+}
+
+// WriteEdges encodes all of edges to w in the binary edge-list format.
+func WriteEdges(w io.Writer, edges []Edge) error {
+	var buf [EdgeBytes]byte
+	for _, e := range edges {
+		PutEdge(buf[:], e)
+		if _, err := w.Write(buf[:]); err != nil {
+			return fmt.Errorf("graph: writing edge %v: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// ReadEdges decodes every edge from r until EOF. The stream length must
+// be a multiple of EdgeBytes.
+func ReadEdges(r io.Reader) ([]Edge, error) {
+	var edges []Edge
+	buf := make([]byte, EdgeBytes*1024)
+	fill := 0
+	for {
+		n, err := r.Read(buf[fill:])
+		fill += n
+		complete := fill / EdgeBytes * EdgeBytes
+		for off := 0; off < complete; off += EdgeBytes {
+			edges = append(edges, GetEdge(buf[off:]))
+		}
+		copy(buf, buf[complete:fill])
+		fill -= complete
+		if err == io.EOF {
+			if fill != 0 {
+				return edges, fmt.Errorf("graph: edge stream has %d trailing bytes (not a multiple of %d)", fill, EdgeBytes)
+			}
+			return edges, nil
+		}
+		if err != nil {
+			return edges, fmt.Errorf("graph: reading edges: %w", err)
+		}
+	}
+}
+
+// EdgesToBytes encodes edges into a fresh byte slice.
+func EdgesToBytes(edges []Edge) []byte {
+	b := make([]byte, len(edges)*EdgeBytes)
+	for i, e := range edges {
+		PutEdge(b[i*EdgeBytes:], e)
+	}
+	return b
+}
+
+// BytesToEdges decodes a byte slice produced by EdgesToBytes. It returns
+// an error if len(b) is not a multiple of EdgeBytes.
+func BytesToEdges(b []byte) ([]Edge, error) {
+	if len(b)%EdgeBytes != 0 {
+		return nil, fmt.Errorf("graph: %d bytes is not a whole number of edges", len(b))
+	}
+	edges := make([]Edge, len(b)/EdgeBytes)
+	for i := range edges {
+		edges[i] = GetEdge(b[i*EdgeBytes:])
+	}
+	return edges, nil
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The FastBFS paper keeps each stored graph next to "an associated
+// configuration file to describe the graph characteristics (e.g., vertices
+// number) and runtime settings (e.g., the additional disk location)"
+// (§III). This file implements that plain-text key=value format.
+//
+// Example:
+//
+//	name = rmat22
+//	vertices = 4194304
+//	edges = 67108864
+//	weighted = false
+//	undirected = false
+
+// WriteConfig serializes m as a key=value configuration file.
+func WriteConfig(w io.Writer, m Meta) error {
+	lines := []string{
+		"name = " + m.Name,
+		"vertices = " + strconv.FormatUint(m.Vertices, 10),
+		"edges = " + strconv.FormatUint(m.Edges, 10),
+		"weighted = " + strconv.FormatBool(m.Weighted),
+		"undirected = " + strconv.FormatBool(m.Undirected),
+	}
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return fmt.Errorf("graph: writing config: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadConfig parses a configuration file written by WriteConfig. Unknown
+// keys are ignored (forward compatibility); blank lines and lines starting
+// with '#' are comments.
+func ReadConfig(r io.Reader) (Meta, error) {
+	var m Meta
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return m, fmt.Errorf("graph: config line %d: missing '=': %q", lineno, line)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "name":
+			m.Name = val
+		case "vertices":
+			m.Vertices, err = strconv.ParseUint(val, 10, 64)
+		case "edges":
+			m.Edges, err = strconv.ParseUint(val, 10, 64)
+		case "weighted":
+			m.Weighted, err = strconv.ParseBool(val)
+		case "undirected":
+			m.Undirected, err = strconv.ParseBool(val)
+		}
+		if err != nil {
+			return m, fmt.Errorf("graph: config line %d: bad value for %s: %w", lineno, key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return m, fmt.Errorf("graph: reading config: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// Degrees computes the out-degree of every vertex from an edge list.
+func Degrees(vertices uint64, edges []Edge) []uint32 {
+	deg := make([]uint32, vertices)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	return deg
+}
+
+// DegreeStats summarizes a degree distribution.
+type DegreeStats struct {
+	Min, Max uint32
+	Mean     float64
+	// P50, P90, P99 are percentile out-degrees.
+	P50, P90, P99 uint32
+	// Isolated is the number of vertices with zero out-degree.
+	Isolated uint64
+}
+
+// SummarizeDegrees computes DegreeStats from a degree array.
+func SummarizeDegrees(deg []uint32) DegreeStats {
+	if len(deg) == 0 {
+		return DegreeStats{}
+	}
+	sorted := make([]uint32, len(deg))
+	copy(sorted, deg)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum uint64
+	var isolated uint64
+	for _, d := range sorted {
+		sum += uint64(d)
+		if d == 0 {
+			isolated++
+		}
+	}
+	pct := func(p float64) uint32 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return DegreeStats{
+		Min:      sorted[0],
+		Max:      sorted[len(sorted)-1],
+		Mean:     float64(sum) / float64(len(sorted)),
+		P50:      pct(0.50),
+		P90:      pct(0.90),
+		P99:      pct(0.99),
+		Isolated: isolated,
+	}
+}

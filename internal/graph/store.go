@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"fastbfs/internal/storage"
+)
+
+// Naming conventions for stored graphs: the raw binary edge list and its
+// associated configuration file (§III).
+
+// EdgeFileName returns the edge-list file name for a dataset.
+func EdgeFileName(name string) string { return name + ".edges" }
+
+// ConfFileName returns the configuration file name for a dataset.
+func ConfFileName(name string) string { return name + ".conf" }
+
+// Store writes a graph — binary edge list plus configuration file — to a
+// volume. The edge count in m is overwritten with len(edges).
+func Store(vol storage.Volume, m Meta, edges []Edge) error {
+	m.Edges = uint64(len(edges))
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if err := m.CheckEdge(e); err != nil {
+			return err
+		}
+	}
+	if err := storage.WriteAll(vol, EdgeFileName(m.Name), EdgesToBytes(edges)); err != nil {
+		return err
+	}
+	var conf strings.Builder
+	if err := WriteConfig(&conf, m); err != nil {
+		return err
+	}
+	return storage.WriteAll(vol, ConfFileName(m.Name), []byte(conf.String()))
+}
+
+// StoreWeighted writes a weighted graph — binary WEdge list plus
+// configuration file — to a volume.
+func StoreWeighted(vol storage.Volume, m Meta, edges []WEdge) error {
+	m.Edges = uint64(len(edges))
+	m.Weighted = true
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if err := m.CheckEdge(Edge{Src: e.Src, Dst: e.Dst}); err != nil {
+			return err
+		}
+		if e.Weight < 0 {
+			return fmt.Errorf("graph %q: negative weight on %d->%d", m.Name, e.Src, e.Dst)
+		}
+	}
+	if err := storage.WriteAll(vol, EdgeFileName(m.Name), WEdgesToBytes(edges)); err != nil {
+		return err
+	}
+	var conf strings.Builder
+	if err := WriteConfig(&conf, m); err != nil {
+		return err
+	}
+	return storage.WriteAll(vol, ConfFileName(m.Name), []byte(conf.String()))
+}
+
+// LoadWEdges reads a stored weighted graph's full edge list into memory.
+func LoadWEdges(vol storage.Volume, name string) (Meta, []WEdge, error) {
+	m, err := LoadMeta(vol, name)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	if !m.Weighted {
+		return Meta{}, nil, fmt.Errorf("graph %s is not weighted", name)
+	}
+	b, err := storage.ReadAll(vol, EdgeFileName(name))
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	edges, err := BytesToWEdges(b)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	return m, edges, nil
+}
+
+// LoadMeta reads a stored graph's configuration file.
+func LoadMeta(vol storage.Volume, name string) (Meta, error) {
+	b, err := storage.ReadAll(vol, ConfFileName(name))
+	if err != nil {
+		return Meta{}, fmt.Errorf("graph: loading config for %s: %w", name, err)
+	}
+	m, err := ReadConfig(strings.NewReader(string(b)))
+	if err != nil {
+		return Meta{}, err
+	}
+	// Cross-check the edge file size against the config.
+	sz, err := vol.Size(EdgeFileName(name))
+	if err != nil {
+		return Meta{}, fmt.Errorf("graph: edge file for %s: %w", name, err)
+	}
+	if uint64(sz) != m.DataBytes() {
+		return Meta{}, fmt.Errorf("graph %s: edge file is %d bytes, config says %d", name, sz, m.DataBytes())
+	}
+	return m, nil
+}
+
+// LoadEdges reads a stored graph's full edge list into memory. Intended
+// for tests, reference BFS and small graphs — engines stream instead.
+func LoadEdges(vol storage.Volume, name string) (Meta, []Edge, error) {
+	m, err := LoadMeta(vol, name)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	b, err := storage.ReadAll(vol, EdgeFileName(name))
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	edges, err := BytesToEdges(b)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	return m, edges, nil
+}

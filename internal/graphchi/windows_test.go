@@ -1,0 +1,125 @@
+package graphchi
+
+import (
+	"testing"
+
+	"fastbfs/internal/bfs"
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+// TestShardsAreSortedAndPartitionedByDestination inspects the engine's
+// working files directly: every shard q must contain exactly the edges
+// whose destination falls in interval q, sorted by source — the
+// structural invariant PSW's sliding windows depend on.
+func TestShardsAreSortedAndPartitionedByDestination(t *testing.T) {
+	m, edges, err := gen.RMAT(8, 8, gen.Graph500(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := storage.NewMem()
+	if err := graph.Store(vol, m, edges); err != nil {
+		t.Fatal(err)
+	}
+	opts := xstream.Options{
+		Root: 0, MemoryBudget: 2048, StreamBufSize: 512,
+		Sim: xstream.DefaultSim(), KeepFiles: true, Partitions: 5,
+	}
+	if _, err := Run(vol, m.Name, opts); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := graph.NewPartitioning(m.Vertices, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for q := 0; q < 5; q++ {
+		data, err := storage.ReadAll(vol, "graphchi_shard_"+string(rune('0'+q)))
+		if err != nil {
+			t.Fatalf("shard %d: %v", q, err)
+		}
+		if len(data)%shardRecBytes != 0 {
+			t.Fatalf("shard %d: %d bytes not a whole number of records", q, len(data))
+		}
+		prev := graph.VertexID(0)
+		for i := 0; i+shardRecBytes <= len(data); i += shardRecBytes {
+			r := getShardRec(data[i:])
+			if !pt.Contains(q, r.dst) {
+				t.Fatalf("shard %d holds edge %d->%d whose destination belongs elsewhere", q, r.src, r.dst)
+			}
+			if r.src < prev {
+				t.Fatalf("shard %d not sorted by source at record %d", q, i/shardRecBytes)
+			}
+			prev = r.src
+			total++
+		}
+	}
+	if total != len(edges) {
+		t.Fatalf("shards hold %d edges, graph has %d", total, len(edges))
+	}
+}
+
+// TestManyShardsStillExact stresses interval counts well beyond the
+// default to exercise window arithmetic at the boundaries.
+func TestManyShardsStillExact(t *testing.T) {
+	m, edges, err := gen.RMAT(8, 8, gen.Graph500(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := maxDegreeVertex(m, edges)
+	ref, err := bfs.Run(m, edges, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 7, 16, 64} {
+		vol := storage.NewMem()
+		if err := graph.Store(vol, m, edges); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(vol, m.Name, xstream.Options{
+			Root: root, MemoryBudget: 4096, StreamBufSize: 512,
+			Sim: xstream.DefaultSim(), Partitions: parts,
+		})
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		got := &bfs.Result{Root: root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+		if err := bfs.Equal(ref, got); err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+	}
+}
+
+// TestEdgeBoundPartitionCount verifies GraphChi derives its interval
+// count from shard (edge) volume, not just vertex count.
+func TestEdgeBoundPartitionCount(t *testing.T) {
+	// 64 vertices but 4096 edges: a vertex-bound split would use 1
+	// interval at this budget; the shard data (4096*12 = 48 KiB) forces
+	// several.
+	m, edges, err := gen.Uniform(64, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := storage.NewMem()
+	if err := graph.Store(vol, m, edges); err != nil {
+		t.Fatal(err)
+	}
+	opts := xstream.Options{
+		Root: 0, MemoryBudget: 16 << 10, StreamBufSize: 512,
+		Sim: xstream.DefaultSim(), KeepFiles: true,
+	}
+	if _, err := Run(vol, m.Name, opts); err != nil {
+		t.Fatal(err)
+	}
+	shards := 0
+	for _, f := range vol.List() {
+		if len(f) > 15 && f[:15] == "graphchi_shard_" {
+			shards++
+		}
+	}
+	if shards < 3 {
+		t.Fatalf("only %d shards; expected the edge-bound split (48 KiB data / 16 KiB budget)", shards)
+	}
+}

@@ -1,0 +1,154 @@
+// Package metrics defines the measurement record every engine run
+// produces. The paper's evaluation reports execution time (Figs. 4, 7–10),
+// input data amount (Fig. 5) and iowait-time ratio (Fig. 6); Run carries
+// all of these plus per-iteration detail used by the convergence analysis
+// (Fig. 1) and the ablation benches.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeviceStats is a per-device byte/time breakdown.
+type DeviceStats struct {
+	Name         string
+	BytesRead    int64
+	BytesWritten int64
+	BusyTime     float64
+	Ops          int64
+}
+
+// Iteration records one scatter+gather round.
+type Iteration struct {
+	// Index is the BFS level (0 = the root's iteration).
+	Index int
+	// Frontier is the number of vertices in the current frontier.
+	Frontier uint64
+	// NewlyVisited is the number of vertices discovered this iteration.
+	NewlyVisited uint64
+	// EdgesStreamed is the number of edges read during scatter.
+	EdgesStreamed int64
+	// Updates is the number of updates generated during scatter.
+	Updates int64
+	// StayEdges is the number of edges written to stay files (FastBFS).
+	StayEdges int64
+	// SkippedPartitions counts partitions bypassed by selective
+	// scheduling this iteration.
+	SkippedPartitions int
+	// Cancelled counts stay writes cancelled while preparing this
+	// iteration's input.
+	Cancelled int
+	// TrimActive reports whether trimming ran this iteration.
+	TrimActive bool
+}
+
+// Run is the complete measurement record of one engine execution.
+type Run struct {
+	Engine string
+	Graph  string
+
+	// ExecTime is total time in seconds — virtual when running against
+	// disksim, wall-clock in real-disk mode. PreprocTime (GraphChi shard
+	// construction) is reported separately, matching the paper, which
+	// excludes GraphChi preprocessing from Fig. 4.
+	ExecTime    float64
+	PreprocTime float64
+	IOWait      float64
+	// PreprocIOWait is the iowait portion of PreprocTime (GraphChi).
+	PreprocIOWait float64
+	ComputeTime   float64
+
+	BytesRead    int64
+	BytesWritten int64
+	Devices      []DeviceStats
+
+	Iterations    []Iteration
+	Visited       uint64
+	Cancellations int
+	Skipped       int
+	TrimmedEdges  int64
+	// StayBufferWaits counts engine stalls on stay-buffer exhaustion
+	// (the paper's condition 1, §III).
+	StayBufferWaits int64
+}
+
+// IOWaitRatio is iowait / exec time (Fig. 6's metric).
+func (r *Run) IOWaitRatio() float64 {
+	if r.ExecTime == 0 {
+		return 0
+	}
+	return r.IOWait / r.ExecTime
+}
+
+// TotalBytes is bytes read + written (the paper's "overall data amount").
+func (r *Run) TotalBytes() int64 { return r.BytesRead + r.BytesWritten }
+
+// GB converts a byte count to decimal gigabytes for report rows.
+func GB(n int64) float64 { return float64(n) / 1e9 }
+
+// Levels returns the number of BFS levels completed (iterations that
+// discovered at least one vertex).
+func (r *Run) Levels() int {
+	n := 0
+	for _, it := range r.Iterations {
+		if it.NewlyVisited > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EdgesStreamed sums edges read across all iterations.
+func (r *Run) EdgesStreamed() int64 {
+	var n int64
+	for _, it := range r.Iterations {
+		n += it.EdgesStreamed
+	}
+	return n
+}
+
+// String renders a compact single-line summary.
+func (r *Run) String() string {
+	return fmt.Sprintf("%s on %s: time=%.3fs iowait=%.0f%% read=%.3fGB written=%.3fGB iters=%d visited=%d",
+		r.Engine, r.Graph, r.ExecTime, 100*r.IOWaitRatio(), GB(r.BytesRead), GB(r.BytesWritten), len(r.Iterations), r.Visited)
+}
+
+// Report renders a multi-line human-readable report including the
+// per-iteration table.
+func (r *Run) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine:        %s\n", r.Engine)
+	fmt.Fprintf(&b, "graph:         %s\n", r.Graph)
+	fmt.Fprintf(&b, "exec time:     %.4f s\n", r.ExecTime)
+	if r.PreprocTime > 0 {
+		fmt.Fprintf(&b, "preprocess:    %.4f s\n", r.PreprocTime)
+	}
+	fmt.Fprintf(&b, "iowait:        %.4f s (%.1f%%)\n", r.IOWait, 100*r.IOWaitRatio())
+	fmt.Fprintf(&b, "compute:       %.4f s\n", r.ComputeTime)
+	fmt.Fprintf(&b, "bytes read:    %d (%.4f GB)\n", r.BytesRead, GB(r.BytesRead))
+	fmt.Fprintf(&b, "bytes written: %d (%.4f GB)\n", r.BytesWritten, GB(r.BytesWritten))
+	fmt.Fprintf(&b, "visited:       %d vertices in %d iterations\n", r.Visited, len(r.Iterations))
+	if r.Cancellations > 0 {
+		fmt.Fprintf(&b, "cancellations: %d\n", r.Cancellations)
+	}
+	if r.Skipped > 0 {
+		fmt.Fprintf(&b, "skipped parts: %d\n", r.Skipped)
+	}
+	if r.TrimmedEdges > 0 {
+		fmt.Fprintf(&b, "trimmed edges: %d\n", r.TrimmedEdges)
+	}
+	for _, d := range r.Devices {
+		fmt.Fprintf(&b, "device %-6s read=%.4fGB written=%.4fGB busy=%.4fs ops=%d\n",
+			d.Name, GB(d.BytesRead), GB(d.BytesWritten), d.BusyTime, d.Ops)
+	}
+	if len(r.Iterations) > 0 {
+		b.WriteString("iter  frontier      new     edges   updates      stay  skip  cancel trim\n")
+		for _, it := range r.Iterations {
+			fmt.Fprintf(&b, "%4d %9d %8d %9d %9d %9d %5d %7d %v\n",
+				it.Index, it.Frontier, it.NewlyVisited, it.EdgesStreamed, it.Updates, it.StayEdges,
+				it.SkippedPartitions, it.Cancelled, it.TrimActive)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Run {
+	return &Run{
+		Engine:        "fastbfs",
+		Graph:         "rmat22",
+		ExecTime:      2.0,
+		PreprocTime:   0.5,
+		IOWait:        1.5,
+		ComputeTime:   0.5,
+		BytesRead:     3_000_000_000,
+		BytesWritten:  1_000_000_000,
+		Visited:       1234,
+		Cancellations: 2,
+		Skipped:       3,
+		TrimmedEdges:  99,
+		Devices: []DeviceStats{
+			{Name: "hdd0", BytesRead: 3_000_000_000, BytesWritten: 1_000_000_000, BusyTime: 1.4, Ops: 10},
+		},
+		Iterations: []Iteration{
+			{Index: 0, Frontier: 1, NewlyVisited: 1, EdgesStreamed: 100, Updates: 0, StayEdges: 90, TrimActive: true},
+			{Index: 1, Frontier: 10, NewlyVisited: 10, EdgesStreamed: 90, Updates: 12, StayEdges: 40, SkippedPartitions: 1, Cancelled: 1, TrimActive: true},
+			{Index: 2, Frontier: 0, NewlyVisited: 0, EdgesStreamed: 40, Updates: 3},
+		},
+	}
+}
+
+func TestIOWaitRatio(t *testing.T) {
+	r := sample()
+	if got := r.IOWaitRatio(); got != 0.75 {
+		t.Errorf("ratio = %v, want 0.75", got)
+	}
+	empty := &Run{}
+	if empty.IOWaitRatio() != 0 {
+		t.Error("zero-time run should have ratio 0")
+	}
+}
+
+func TestTotalBytesAndGB(t *testing.T) {
+	r := sample()
+	if r.TotalBytes() != 4_000_000_000 {
+		t.Errorf("TotalBytes = %d", r.TotalBytes())
+	}
+	if GB(2_500_000_000) != 2.5 {
+		t.Errorf("GB = %v", GB(2_500_000_000))
+	}
+}
+
+func TestLevelsAndEdgesStreamed(t *testing.T) {
+	r := sample()
+	if got := r.Levels(); got != 2 {
+		t.Errorf("Levels = %d, want 2 (iteration 2 discovered nothing)", got)
+	}
+	if got := r.EdgesStreamed(); got != 230 {
+		t.Errorf("EdgesStreamed = %d, want 230", got)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"fastbfs", "rmat22", "time=2.000s", "iowait=75%", "visited=1234"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestReportContainsEverything(t *testing.T) {
+	rep := sample().Report()
+	for _, want := range []string{
+		"engine:        fastbfs",
+		"graph:         rmat22",
+		"preprocess:    0.5000 s",
+		"iowait:        1.5000 s (75.0%)",
+		"cancellations: 2",
+		"skipped parts: 3",
+		"trimmed edges: 99",
+		"device hdd0",
+		"iter  frontier",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q", want)
+		}
+	}
+	// Per-iteration rows present.
+	if !strings.Contains(rep, "   1        10       10        90        12        40     1       1 true") {
+		t.Errorf("Report missing iteration row:\n%s", rep)
+	}
+}
+
+func TestReportOmitsZeroSections(t *testing.T) {
+	r := &Run{Engine: "xstream", Graph: "g", ExecTime: 1}
+	rep := r.Report()
+	for _, absent := range []string{"cancellations", "skipped parts", "trimmed edges", "preprocess"} {
+		if strings.Contains(rep, absent) {
+			t.Errorf("Report shows zero-valued section %q", absent)
+		}
+	}
+}

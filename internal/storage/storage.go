@@ -1,0 +1,112 @@
+// Package storage provides the file substrate every engine streams
+// through: a Volume abstraction with two implementations — an in-memory
+// volume (Mem) used for deterministic simulation and tests, and an
+// OS-backed volume (OS) for real-disk runs.
+//
+// Volumes move data only. I/O *timing* is modelled separately by
+// internal/disksim; engines call both. This separation keeps results
+// (BFS trees, byte counts) real while making timing deterministic.
+//
+// The access pattern is deliberately restricted to what the FastBFS /
+// X-Stream designs need: whole files are written once, sequentially,
+// then read sequentially any number of times. There is no random access
+// — that restriction is the point of edge-centric streaming.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrNotExist is returned when opening, removing or renaming a file that
+// does not exist on the volume.
+var ErrNotExist = errors.New("storage: file does not exist")
+
+// ErrExist is returned by Rename when the destination name is already
+// taken and by Create when a file is already open for writing.
+var ErrExist = errors.New("storage: file already exists")
+
+// Reader is a sequential file reader.
+type Reader interface {
+	io.ReadCloser
+	// Size returns the total size of the file in bytes.
+	Size() int64
+}
+
+// Writer is a sequential file writer. Data becomes visible to Open only
+// after Close. Abort discards the file (used by FastBFS's stay-write
+// cancellation).
+type Writer interface {
+	io.WriteCloser
+	// Abort discards everything written so far and removes the file.
+	// After Abort, Close is a no-op. Abort after Close is an error.
+	Abort() error
+}
+
+// RangeVolume is implemented by volumes that additionally support the
+// random-access pattern GraphChi's parallel sliding windows need:
+// reading a byte range of a shard and patching a byte range in place.
+// The FastBFS/X-Stream engines never use it — edge-centric streaming is
+// precisely the design that avoids this access pattern.
+type RangeVolume interface {
+	Volume
+	// ReadRange reads length bytes at offset off of an existing file.
+	ReadRange(name string, off, length int64) ([]byte, error)
+	// Patch overwrites len(data) bytes at offset off of an existing
+	// file. The range must lie within the file.
+	Patch(name string, off int64, data []byte) error
+}
+
+// Volume is a flat namespace of sequential files.
+type Volume interface {
+	// Create starts writing a new file, truncating any existing file of
+	// the same name once the writer is closed successfully.
+	Create(name string) (Writer, error)
+	// Open reads an existing, fully written file.
+	Open(name string) (Reader, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically renames a file, replacing any existing dst.
+	Rename(src, dst string) error
+	// Exists reports whether a fully written file of this name exists.
+	Exists(name string) bool
+	// Size returns the size of a file, or ErrNotExist.
+	Size(name string) (int64, error)
+	// List returns the names of all files on the volume, sorted.
+	List() []string
+}
+
+// ReadAll reads the entire named file from v.
+func ReadAll(v Volume, name string) ([]byte, error) {
+	r, err := v.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	b := make([]byte, 0, r.Size())
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := r.Read(buf)
+		b = append(b, buf[:n]...)
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return b, fmt.Errorf("storage: reading %s: %w", name, err)
+		}
+	}
+}
+
+// WriteAll creates the named file on v with the given contents.
+func WriteAll(v Volume, name string, data []byte) error {
+	w, err := v.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		return fmt.Errorf("storage: writing %s: %w", name, err)
+	}
+	return w.Close()
+}

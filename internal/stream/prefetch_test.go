@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"testing"
+
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+)
+
+func TestPrefetchReadsAllRecords(t *testing.T) {
+	vol := storage.NewMem()
+	edges := makeEdges(3000)
+	writeEdgesFile(t, vol, "e", edges)
+	tm, c := timing(disksim.HDD("d"))
+	sc, err := NewEdgeScanner(vol, "e", tm, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Prefetch(4)
+	defer sc.Close()
+	for i := 0; ; i++ {
+		e, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != len(edges) {
+				t.Fatalf("scanned %d of %d edges", i, len(edges))
+			}
+			break
+		}
+		if e != edges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, e, edges[i])
+		}
+	}
+	if sc.BytesRead() != int64(len(edges)*graph.EdgeBytes) {
+		t.Fatalf("BytesRead = %d", sc.BytesRead())
+	}
+	if c.Now() <= 0 {
+		t.Fatal("prefetch charged no time at all")
+	}
+}
+
+func TestPrefetchChargesSameBytesAsBlockingReads(t *testing.T) {
+	vol := storage.NewMem()
+	edges := makeEdges(2048)
+	writeEdgesFile(t, vol, "e", edges)
+	run := func(depth int) int64 {
+		dev := disksim.HDD("d")
+		tm := Timing{Clock: disksim.NewClock(disksim.DefaultCPU(), 1), Device: dev}
+		sc, err := NewEdgeScanner(vol, "e", tm, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Prefetch(depth)
+		defer sc.Close()
+		for {
+			_, ok, err := sc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		return dev.BytesRead()
+	}
+	if blocking, ahead := run(0), run(4); blocking != ahead {
+		t.Fatalf("device bytes differ: blocking=%d prefetch=%d", blocking, ahead)
+	}
+}
+
+func TestPrefetchOverlapsOtherDeviceIO(t *testing.T) {
+	// The point of read-ahead: a scanner's transfer on device A drains
+	// while the engine stalls on device B. Sequence: open+prefetch on A,
+	// do a big synchronous read on B, then consume A — A's chunks must
+	// already be (partly) done, so total time < serial sum.
+	vol := storage.NewMem()
+	edges := makeEdges(64 << 10) // 512 KiB
+	writeEdgesFile(t, vol, "a", edges)
+	if err := storage.WriteAll(vol, "b", make([]byte, 512<<10)); err != nil {
+		t.Fatal(err)
+	}
+	run := func(depth int) float64 {
+		devA := disksim.HDD("A")
+		devB := disksim.HDD("B")
+		c := disksim.NewClock(disksim.DefaultCPU(), 1)
+		sc, err := NewEdgeScanner(vol, "a", Timing{Clock: c, Device: devA}, 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Prefetch(depth)
+		defer sc.Close()
+		c.Read(devB, 512<<10, 0) // engine stalls on the other device
+		for {
+			_, ok, err := sc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		return c.Now()
+	}
+	serial, overlapped := run(0), run(8)
+	if !(overlapped < serial*0.75) {
+		t.Fatalf("prefetch gave no cross-device overlap: %v vs %v", overlapped, serial)
+	}
+}
+
+func TestPrefetchCloseCancelsOutstandingReads(t *testing.T) {
+	vol := storage.NewMem()
+	edges := makeEdges(8192) // 64 KiB
+	writeEdgesFile(t, vol, "e", edges)
+	dev := disksim.HDD("d")
+	c := disksim.NewClock(disksim.DefaultCPU(), 1)
+	sc, err := NewEdgeScanner(vol, "e", Timing{Clock: c, Device: dev}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Prefetch(16) // covers the whole file
+	issued := dev.BytesRead()
+	if issued == 0 {
+		t.Fatal("no read-ahead issued at Prefetch")
+	}
+	// Consume just one buffer, then abandon the scan.
+	if _, ok, err := sc.Next(); !ok || err != nil {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.BytesRead(); got >= issued {
+		t.Fatalf("Close refunded nothing: issued %d, after close %d", issued, got)
+	}
+}
+
+func TestPrefetchNoOpWithoutClock(t *testing.T) {
+	vol := storage.NewMem()
+	edges := makeEdges(100)
+	writeEdgesFile(t, vol, "e", edges)
+	sc, err := NewEdgeScanner(vol, "e", Timing{}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Prefetch(4) // must not panic or change behaviour
+	defer sc.Close()
+	n := 0
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestPrefetchKeepsEnginePriorityOverStayWrites(t *testing.T) {
+	// Read-ahead lives on the foreground lane: a huge background stay
+	// backlog must not starve it (fair share at worst), unlike if it
+	// were queued behind the stays in the background lane.
+	vol := storage.NewMem()
+	edges := makeEdges(4096) // 32 KiB
+	writeEdgesFile(t, vol, "e", edges)
+	dev := disksim.HDD("d")
+	c := disksim.NewClock(disksim.DefaultCPU(), 1)
+	// 10 MB of background writes pending.
+	c.WriteAsync(dev, 10<<20, 0)
+	sc, err := NewEdgeScanner(vol, "e", Timing{Clock: c, Device: dev}, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Prefetch(2)
+	defer sc.Close()
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	// Fair share: the 32 KiB read takes at most ~2x its solo time plus
+	// seek, nowhere near the ~87ms the 10MB backlog needs.
+	if c.Now() > 0.02 {
+		t.Fatalf("read-ahead starved behind background writes: %v s", c.Now())
+	}
+}

@@ -1,0 +1,285 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+)
+
+// StayWriter is the FastBFS asynchronous stay-list writer: "FastBFS
+// introduces a dedicated thread to manage the asynchronous stay list
+// writing. ... The stay list writing thread owns several private edge
+// buffers, thanks to which the stay list flushing would not be interfered
+// by other I/O procedures." (§III)
+//
+// The engine thread appends live edges to a StayFile; full buffers are
+// handed to the dedicated writer goroutine, which performs the actual
+// storage writes. Virtual time for each buffer is reserved on the stay
+// device at hand-off (disksim.Clock.WriteAsync), so the write overlaps
+// computation and foreground I/O on the timeline exactly as the real
+// background write would.
+//
+// The engine blocks only when the private buffers are exhausted (the
+// paper's condition 1) — modelled both for real (bounded task channel)
+// and in virtual time (the in-flight completion queue). Condition 2 —
+// a partition's scatter arriving before its previous stay write finished
+// — is the engine's decision: it either waits for StayFile.Use or calls
+// StayFile.Discard to cancel, which refunds the unused reserved device
+// time ("pulls out in time from expensive data writing").
+type StayWriter struct {
+	vol      storage.Volume
+	bufSize  int
+	bufCount int
+
+	tasks chan stayTask
+	wg    sync.WaitGroup
+
+	// inflight holds handles of background buffer writes handed to the
+	// writer thread; engine-thread only.
+	inflight []*disksim.AsyncOp
+
+	// bufferWaits counts the times the engine stalled because all
+	// private buffers were in flight.
+	bufferWaits int64
+}
+
+type stayOp int
+
+const (
+	opWrite stayOp = iota
+	opClose
+)
+
+type stayTask struct {
+	f    *StayFile
+	data []byte
+	op   stayOp
+}
+
+// NewStayWriter starts the dedicated writer goroutine. bufSize is the
+// size of each private edge buffer; bufCount the number of buffers
+// ("the edge buffer count and size are made tunable", §III). Each
+// StayFile carries its own Timing, because FastBFS switches the stay-out
+// stream between disks per iteration in two-disk mode (§IV-C3).
+func NewStayWriter(vol storage.Volume, bufSize, bufCount int) *StayWriter {
+	if bufSize < graph.EdgeBytes {
+		bufSize = graph.EdgeBytes
+	}
+	bufSize -= bufSize % graph.EdgeBytes
+	if bufCount < 1 {
+		bufCount = 1
+	}
+	sw := &StayWriter{
+		vol:      vol,
+		bufSize:  bufSize,
+		bufCount: bufCount,
+		tasks:    make(chan stayTask, bufCount),
+	}
+	sw.wg.Add(1)
+	go sw.run()
+	return sw
+}
+
+func (sw *StayWriter) run() {
+	defer sw.wg.Done()
+	for t := range sw.tasks {
+		f := t.f
+		switch t.op {
+		case opWrite:
+			if f.err == nil && !f.discard.Load() {
+				if _, err := f.w.Write(t.data); err != nil {
+					f.err = err
+				}
+			}
+		case opClose:
+			if f.err != nil || f.discard.Load() {
+				f.w.Abort()
+			} else if err := f.w.Close(); err != nil {
+				f.err = err
+			} else {
+				f.published = true
+			}
+			close(f.dataDone)
+		}
+	}
+}
+
+// Shutdown stops the writer goroutine. Every StayFile must have been
+// Closed first.
+func (sw *StayWriter) Shutdown() {
+	close(sw.tasks)
+	sw.wg.Wait()
+}
+
+// BufferWaits reports how often the engine stalled on buffer exhaustion.
+func (sw *StayWriter) BufferWaits() int64 { return sw.bufferWaits }
+
+// StayFile is one partition's stay list being written in the background.
+type StayFile struct {
+	sw     *StayWriter
+	timing Timing
+	sid    disksim.StreamID
+	name   string
+	w      storage.Writer
+
+	buf   []byte
+	fill  int
+	count int64
+
+	// ops are the device handles of this file's background buffer
+	// writes, used for completion queries and cancellation refunds.
+	ops []*disksim.AsyncOp
+
+	dataDone  chan struct{}
+	discard   atomic.Bool
+	published bool
+	err       error // written by the worker before dataDone closes
+	closed    bool
+}
+
+// Begin creates a new stay file on the device described by timing and
+// starts accepting edges for it.
+func (sw *StayWriter) Begin(name string, timing Timing) (*StayFile, error) {
+	w, err := sw.vol.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &StayFile{
+		sw:       sw,
+		timing:   timing,
+		sid:      disksim.NewStreamID(),
+		name:     name,
+		w:        w,
+		buf:      make([]byte, sw.bufSize),
+		dataDone: make(chan struct{}),
+	}, nil
+}
+
+// Name returns the stay file's name on the volume.
+func (f *StayFile) Name() string { return f.name }
+
+// Count returns the number of edges appended.
+func (f *StayFile) Count() int64 { return f.count }
+
+// Append adds a live edge to the stay list, handing the buffer to the
+// writer thread when it fills.
+func (f *StayFile) Append(e graph.Edge) error {
+	if f.closed {
+		return fmt.Errorf("stream: append to closed stay file %s", f.name)
+	}
+	if f.fill+graph.EdgeBytes > len(f.buf) {
+		f.flushAsync()
+	}
+	graph.PutEdge(f.buf[f.fill:], e)
+	f.fill += graph.EdgeBytes
+	f.count++
+	return nil
+}
+
+// flushAsync reserves device time for the current buffer and hands it to
+// the writer goroutine, stalling (real and virtual) if every private
+// buffer is already in flight.
+func (f *StayFile) flushAsync() {
+	if f.fill == 0 {
+		return
+	}
+	sw := f.sw
+	if c := f.timing.Clock; c != nil {
+		// Retire buffers whose writes completed.
+		for len(sw.inflight) > 0 && sw.inflight[0].Done(c.Now()) {
+			sw.inflight = sw.inflight[1:]
+		}
+		// Paper condition 1: "when the amount of edge buffers are
+		// consumed out" the engine must wait for one to free up.
+		if len(sw.inflight) >= sw.bufCount {
+			sw.bufferWaits++
+			c.WaitUntil(c.BgCompletion(sw.inflight[0]))
+			sw.inflight = sw.inflight[1:]
+		}
+		op := c.WriteAsync(f.timing.Device, int64(f.fill), f.sid)
+		f.ops = append(f.ops, op)
+		sw.inflight = append(sw.inflight, op)
+	}
+	data := f.buf[:f.fill]
+	f.buf = make([]byte, sw.bufSize)
+	f.fill = 0
+	sw.tasks <- stayTask{f: f, data: data, op: opWrite}
+}
+
+// Close flushes the remaining edges and enqueues the file's publication.
+// It returns immediately; the write completes in the background. After
+// Close the engine must eventually call either Use or Discard.
+func (f *StayFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.flushAsync()
+	f.sw.tasks <- stayTask{f: f, op: opClose}
+	return nil
+}
+
+// ReadyAt returns the virtual time at which the file's background write
+// completes, projected at the current clock time (0 when running without
+// a clock or when the file never flushed a buffer).
+func (f *StayFile) ReadyAt() float64 {
+	c := f.timing.Clock
+	if c == nil || len(f.ops) == 0 {
+		return 0
+	}
+	return c.BgCompletion(f.ops[len(f.ops)-1])
+}
+
+// Use waits for the background write to finish (real data-side wait) and
+// returns any write error. The caller is responsible for the virtual-time
+// wait (Clock.WaitUntil(f.ReadyAt())) so that engines can interleave it
+// with grace-period policy.
+func (f *StayFile) Use() error {
+	if !f.closed {
+		return fmt.Errorf("stream: Use before Close of stay file %s", f.name)
+	}
+	<-f.dataDone
+	return f.err
+}
+
+// TryUse waits up to timeout (wall-clock) for the background write to
+// finish. It returns (true, write error) if the data is ready, and
+// (false, nil) if the grace period expired — the caller should then
+// Discard, which is the paper's cancellation path in real-disk mode.
+func (f *StayFile) TryUse(timeout time.Duration) (bool, error) {
+	if !f.closed {
+		return false, fmt.Errorf("stream: TryUse before Close of stay file %s", f.name)
+	}
+	select {
+	case <-f.dataDone:
+		return true, f.err
+	case <-time.After(timeout):
+		return false, nil
+	}
+}
+
+// Discard cancels the stay file: the paper's cancellation mechanism. It
+// refunds reserved-but-unstarted device time for buffers whose virtual
+// writes had not completed, marks the file discarded for the writer
+// thread, and removes it from the volume if it was already published.
+func (f *StayFile) Discard() error {
+	if !f.closed {
+		return fmt.Errorf("stream: Discard before Close of stay file %s", f.name)
+	}
+	f.discard.Store(true)
+	if c := f.timing.Clock; c != nil {
+		for _, op := range f.ops {
+			c.CancelAsync(op)
+		}
+	}
+	<-f.dataDone
+	if f.published {
+		return f.sw.vol.Remove(f.name)
+	}
+	return nil
+}

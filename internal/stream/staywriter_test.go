@@ -1,0 +1,274 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+)
+
+func TestStayWriterWritesFileInBackground(t *testing.T) {
+	vol := storage.NewMem()
+	dev := disksim.HDD("stay")
+	tm, c := timing(dev)
+	sw := NewStayWriter(vol, 256, 4)
+	defer sw.Shutdown()
+
+	f, err := sw.Begin("stay_0", tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := makeEdges(200)
+	for _, e := range edges {
+		if err := f.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Count() != 200 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if f.ReadyAt() <= 0 {
+		t.Fatal("ReadyAt not set")
+	}
+	if err := f.Use(); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitUntil(f.ReadyAt())
+
+	data, err := storage.ReadAll(vol, "stay_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.BytesToEdges(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("stay file has %d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	if dev.BytesWritten() != int64(200*graph.EdgeBytes) {
+		t.Fatalf("device bytesWritten = %d", dev.BytesWritten())
+	}
+}
+
+func TestStayWriterDoesNotAdvanceClock(t *testing.T) {
+	vol := storage.NewMem()
+	tm, c := timing(disksim.HDD("stay"))
+	sw := NewStayWriter(vol, 1<<20, 8)
+	defer sw.Shutdown()
+	f, _ := sw.Begin("s", tm)
+	for _, e := range makeEdges(10000) {
+		f.Append(e)
+	}
+	f.Close()
+	if c.Now() != 0 {
+		t.Fatalf("async appends advanced the clock to %v", c.Now())
+	}
+	f.Use()
+}
+
+func TestStayWriterBufferExhaustionStalls(t *testing.T) {
+	vol := storage.NewMem()
+	tm, c := timing(disksim.HDD("stay"))
+	// 2 tiny buffers: the engine must wait once they're both in flight —
+	// paper condition 1.
+	sw := NewStayWriter(vol, 64, 2)
+	defer sw.Shutdown()
+	f, _ := sw.Begin("s", tm)
+	for _, e := range makeEdges(1000) {
+		f.Append(e)
+	}
+	f.Close()
+	f.Use()
+	if sw.BufferWaits() == 0 {
+		t.Fatal("expected buffer-exhaustion waits with 2 tiny buffers")
+	}
+	if c.IOWait() <= 0 {
+		t.Fatal("buffer waits should appear as iowait")
+	}
+}
+
+func TestStayWriterAmpleBuffersNeverStall(t *testing.T) {
+	vol := storage.NewMem()
+	tm, c := timing(disksim.HDD("stay"))
+	sw := NewStayWriter(vol, 1<<20, 64)
+	defer sw.Shutdown()
+	f, _ := sw.Begin("s", tm)
+	for _, e := range makeEdges(5000) {
+		f.Append(e)
+	}
+	f.Close()
+	f.Use()
+	if sw.BufferWaits() != 0 {
+		t.Fatalf("BufferWaits = %d with ample buffers", sw.BufferWaits())
+	}
+	if c.IOWait() != 0 {
+		t.Fatalf("IOWait = %v with ample buffers", c.IOWait())
+	}
+}
+
+func TestStayFileDiscardRemovesAndRefunds(t *testing.T) {
+	vol := storage.NewMem()
+	dev := disksim.HDD("stay")
+	tm, c := timing(dev)
+	sw := NewStayWriter(vol, 256, 8)
+	defer sw.Shutdown()
+
+	f, _ := sw.Begin("s", tm)
+	for _, e := range makeEdges(2000) {
+		f.Append(e)
+	}
+	f.Close()
+	freeBefore := dev.IdleAt()
+	writtenBefore := dev.BytesWritten()
+	if err := f.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if vol.Exists("s") {
+		t.Fatal("discarded stay file still on volume")
+	}
+	// The write had not started (clock at 0), so nearly all reserved
+	// device time and bytes must be refunded.
+	if !(dev.IdleAt() < freeBefore) {
+		t.Fatalf("no device time refunded: idleAt %v -> %v", freeBefore, dev.IdleAt())
+	}
+	if !(dev.BytesWritten() < writtenBefore) {
+		t.Fatalf("no bytes refunded: %d -> %d", writtenBefore, dev.BytesWritten())
+	}
+	_ = c
+}
+
+func TestStayFileDiscardAfterCompletionRefundsNothing(t *testing.T) {
+	vol := storage.NewMem()
+	dev := disksim.HDD("stay")
+	tm, c := timing(dev)
+	sw := NewStayWriter(vol, 256, 8)
+	defer sw.Shutdown()
+
+	f, _ := sw.Begin("s", tm)
+	for _, e := range makeEdges(100) {
+		f.Append(e)
+	}
+	f.Close()
+	f.Use() // ensure data done so `published` is set
+	c.WaitUntil(f.ReadyAt() + 1)
+	written := dev.BytesWritten()
+	if err := f.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.BytesWritten() != written {
+		t.Fatal("bytes refunded for an already-completed write")
+	}
+	if vol.Exists("s") {
+		t.Fatal("discarded file still exists")
+	}
+}
+
+func TestStayFileUseBeforeCloseFails(t *testing.T) {
+	vol := storage.NewMem()
+	sw := NewStayWriter(vol, 256, 2)
+	defer sw.Shutdown()
+	f, _ := sw.Begin("s", Timing{})
+	if err := f.Use(); err == nil {
+		t.Fatal("Use before Close succeeded")
+	}
+	if err := f.Discard(); err == nil {
+		t.Fatal("Discard before Close succeeded")
+	}
+	f.Close()
+	f.Use()
+}
+
+func TestStayFileAppendAfterClose(t *testing.T) {
+	vol := storage.NewMem()
+	sw := NewStayWriter(vol, 256, 2)
+	defer sw.Shutdown()
+	f, _ := sw.Begin("s", Timing{})
+	f.Close()
+	if err := f.Append(graph.Edge{}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	f.Use()
+}
+
+func TestStayWriterSurfacesWriteErrors(t *testing.T) {
+	vol := storage.NewMem()
+	boom := errors.New("disk on fire")
+	vol.FailWrites(func(name string, written int64) error {
+		if name == "s" {
+			return boom
+		}
+		return nil
+	})
+	sw := NewStayWriter(vol, 64, 2)
+	defer sw.Shutdown()
+	f, _ := sw.Begin("s", Timing{})
+	for _, e := range makeEdges(100) {
+		f.Append(e)
+	}
+	f.Close()
+	if err := f.Use(); !errors.Is(err, boom) {
+		t.Fatalf("Use error = %v, want injected fault", err)
+	}
+	if vol.Exists("s") {
+		t.Fatal("failed stay file was published")
+	}
+}
+
+func TestStayWriterManyFilesInterleaved(t *testing.T) {
+	vol := storage.NewMem()
+	tm, c := timing(disksim.HDD("stay"))
+	sw := NewStayWriter(vol, 128, 4)
+	defer sw.Shutdown()
+
+	const files = 8
+	handles := make([]*StayFile, files)
+	for i := range handles {
+		f, err := sw.Begin(fmt.Sprintf("s%d", i), tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = f
+	}
+	for round := 0; round < 50; round++ {
+		for i, f := range handles {
+			f.Append(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(round)})
+		}
+	}
+	for _, f := range handles {
+		f.Close()
+	}
+	for i, f := range handles {
+		if err := f.Use(); err != nil {
+			t.Fatal(err)
+		}
+		c.WaitUntil(f.ReadyAt())
+		data, err := storage.ReadAll(vol, fmt.Sprintf("s%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges, err := graph.BytesToEdges(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(edges) != 50 {
+			t.Fatalf("file s%d has %d edges, want 50", i, len(edges))
+		}
+		for r, e := range edges {
+			if e.Src != graph.VertexID(i) || e.Dst != graph.VertexID(r) {
+				t.Fatalf("file s%d edge %d = %v", i, r, e)
+			}
+		}
+	}
+}

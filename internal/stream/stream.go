@@ -1,0 +1,396 @@
+// Package stream implements the buffered sequential streams every engine
+// in this repository is built from, mirroring the FastBFS prototype's
+// stream machinery (§III): edge/update scanners that read a file in the
+// granularity of a fixed-size buffer, buffered record writers, the
+// destination-partition update shuffler, and the asynchronous stay-list
+// writer with its dedicated thread and private edge buffers.
+//
+// Every stream moves real bytes through a storage.Volume and, when given
+// a disksim clock and device, charges virtual I/O time per buffer-sized
+// operation — one modelled seek plus a sequential transfer, which is why
+// buffer size matters, exactly as in the paper.
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+)
+
+// DefaultBufSize is the default stream buffer size. 1 MiB amortizes the
+// modelled seek to under 10% of the transfer time on the HDD preset.
+const DefaultBufSize = 1 << 20
+
+// Timing couples a virtual clock with the device a stream lives on.
+// A zero Timing (nil Clock) disables time accounting — used in real-disk
+// mode where the wall clock measures itself.
+type Timing struct {
+	Clock  *disksim.Clock
+	Device *disksim.Device
+}
+
+func (t Timing) read(n int64, sid disksim.StreamID) {
+	if t.Clock != nil {
+		t.Clock.Read(t.Device, n, sid)
+	}
+}
+
+func (t Timing) writeSync(n int64, sid disksim.StreamID) {
+	if t.Clock != nil {
+		t.Clock.WriteSync(t.Device, n, sid)
+	}
+}
+
+// Scanner streams fixed-size records of type T from a file, optionally
+// with read-ahead (see Prefetch).
+type Scanner[T any] struct {
+	r       storage.Reader
+	timing  Timing
+	sid     disksim.StreamID
+	buf     []byte
+	pos     int
+	fill    int
+	recSize int
+	decode  func([]byte) T
+	eof     bool
+	read    int64
+
+	// Read-ahead state: issued chunks not yet consumed, and how many
+	// bytes of the file have been covered by issued operations.
+	pending []*disksim.AsyncOp
+	issued  int64
+	depth   int
+	closed  bool
+}
+
+// NewScanner opens name on vol and streams its records. bufSize is
+// rounded up to hold at least one record.
+func NewScanner[T any](vol storage.Volume, name string, timing Timing, bufSize, recSize int, decode func([]byte) T) (*Scanner[T], error) {
+	r, err := vol.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if bufSize < recSize {
+		bufSize = recSize
+	}
+	// Round the buffer down to a whole number of records so refills never
+	// split a record.
+	bufSize -= bufSize % recSize
+	return &Scanner[T]{r: r, timing: timing, sid: disksim.NewStreamID(), buf: make([]byte, bufSize), recSize: recSize, decode: decode}, nil
+}
+
+// Next returns the next record. ok is false at end of stream.
+func (s *Scanner[T]) Next() (rec T, ok bool, err error) {
+	if s.pos+s.recSize > s.fill {
+		if err := s.refill(); err != nil {
+			var zero T
+			return zero, false, err
+		}
+		if s.pos+s.recSize > s.fill {
+			var zero T
+			return zero, false, nil
+		}
+	}
+	rec = s.decode(s.buf[s.pos:])
+	s.pos += s.recSize
+	return rec, true, nil
+}
+
+// Prefetch enables read-ahead with the given number of look-ahead
+// buffers — the paper's "the number of edge buffers can be more than one
+// for pre-fetching" (§III). The scanner immediately reserves up to
+// `depth` buffer-sized reads on the device's foreground lane (keeping
+// engine priority over background stay writes) without stalling the
+// clock; each refill then waits only for its own chunk's completion, so
+// the stream's transfer overlaps compute and I/O on other devices.
+// Call before the first Next; a no-op without a simulation clock.
+func (s *Scanner[T]) Prefetch(depth int) {
+	if s.timing.Clock == nil || depth <= 0 || s.read > 0 {
+		return
+	}
+	s.depth = depth
+	s.topUp()
+}
+
+func (s *Scanner[T]) topUp() {
+	size := s.r.Size()
+	for len(s.pending) < s.depth && s.issued < size {
+		n := int64(len(s.buf))
+		if rem := size - s.issued; rem < n {
+			n = rem
+		}
+		s.pending = append(s.pending, s.timing.Clock.ReadAsync(s.timing.Device, n, s.sid))
+		s.issued += n
+	}
+}
+
+func (s *Scanner[T]) refill() error {
+	if s.eof {
+		return nil
+	}
+	// Preserve a partial record tail (possible only if the underlying
+	// reader returns short counts).
+	copy(s.buf, s.buf[s.pos:s.fill])
+	s.fill -= s.pos
+	s.pos = 0
+	for s.fill < len(s.buf) {
+		n, err := s.r.Read(s.buf[s.fill:])
+		s.fill += n
+		if err == io.EOF {
+			s.eof = true
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("stream: scanner read: %w", err)
+		}
+		if n > 0 {
+			break
+		}
+	}
+	if s.fill > 0 {
+		if len(s.pending) > 0 {
+			// This chunk was covered by a read-ahead op: wait for its
+			// completion instead of issuing a blocking read.
+			op := s.pending[0]
+			s.pending = s.pending[1:]
+			s.timing.Clock.WaitUntil(s.timing.Clock.BgCompletion(op))
+			s.topUp()
+		} else {
+			s.timing.read(int64(s.fill), s.sid)
+		}
+		s.read += int64(s.fill)
+	}
+	return nil
+}
+
+// BytesRead reports the bytes consumed from the file so far.
+func (s *Scanner[T]) BytesRead() int64 { return s.read }
+
+// Close releases the underlying file, cancelling any outstanding
+// read-ahead (refunding its unconsumed device time and bytes).
+func (s *Scanner[T]) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.timing.Clock != nil {
+		for _, op := range s.pending {
+			s.timing.Clock.CancelAsync(op)
+		}
+	}
+	s.pending = nil
+	return s.r.Close()
+}
+
+// NewEdgeScanner streams graph.Edge records from a file.
+func NewEdgeScanner(vol storage.Volume, name string, timing Timing, bufSize int) (*Scanner[graph.Edge], error) {
+	return NewScanner(vol, name, timing, bufSize, graph.EdgeBytes, graph.GetEdge)
+}
+
+// NewUpdateScanner streams graph.Update records from a file.
+func NewUpdateScanner(vol storage.Volume, name string, timing Timing, bufSize int) (*Scanner[graph.Update], error) {
+	return NewScanner(vol, name, timing, bufSize, graph.UpdateBytes, graph.GetUpdate)
+}
+
+// Writer buffers fixed-size records of type T into a file, flushing (and
+// charging a device write) whenever the buffer fills. By default flushes
+// are synchronous (the clock stalls); after SetAsync they are buffered
+// write-behind — the time-model analogue of writing through the OS page
+// cache — and the caller must observe LastOp's completion before any
+// reader depends on the file (engines do this through
+// xstream.Runtime.AwaitFile).
+type Writer[T any] struct {
+	w       storage.Writer
+	timing  Timing
+	sid     disksim.StreamID
+	buf     []byte
+	fill    int
+	recSize int
+	encode  func([]byte, T)
+	count   int64
+	written int64
+	closed  bool
+	async   bool
+	lastOp  *disksim.AsyncOp
+}
+
+// NewWriter creates name on vol and buffers records into it.
+func NewWriter[T any](vol storage.Volume, name string, timing Timing, bufSize, recSize int, encode func([]byte, T)) (*Writer[T], error) {
+	w, err := vol.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if bufSize < recSize {
+		bufSize = recSize
+	}
+	bufSize -= bufSize % recSize
+	return &Writer[T]{w: w, timing: timing, sid: disksim.NewStreamID(), buf: make([]byte, bufSize), recSize: recSize, encode: encode}, nil
+}
+
+// Append adds one record, flushing if the buffer is full.
+func (w *Writer[T]) Append(rec T) error {
+	if w.closed {
+		return fmt.Errorf("stream: append to closed writer")
+	}
+	if w.fill+w.recSize > len(w.buf) {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	w.encode(w.buf[w.fill:], rec)
+	w.fill += w.recSize
+	w.count++
+	return nil
+}
+
+// SetAsync switches flushes to write-behind (see the type comment).
+func (w *Writer[T]) SetAsync() { w.async = true }
+
+// LastOp returns the device handle of the latest write-behind flush, or
+// nil when none happened (synchronous mode, no clock, or nothing
+// flushed). Its completion is the file's read-readiness barrier.
+func (w *Writer[T]) LastOp() *disksim.AsyncOp { return w.lastOp }
+
+// Flush writes buffered records to the file, charging a device write.
+func (w *Writer[T]) Flush() error {
+	if w.fill == 0 {
+		return nil
+	}
+	if _, err := w.w.Write(w.buf[:w.fill]); err != nil {
+		return fmt.Errorf("stream: writer flush: %w", err)
+	}
+	if w.async && w.timing.Clock != nil {
+		w.lastOp = w.timing.Clock.WriteAsync(w.timing.Device, int64(w.fill), w.sid)
+	} else {
+		w.timing.writeSync(int64(w.fill), w.sid)
+	}
+	w.written += int64(w.fill)
+	w.fill = 0
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer[T]) Count() int64 { return w.count }
+
+// BytesWritten returns the bytes flushed to the file so far.
+func (w *Writer[T]) BytesWritten() int64 { return w.written }
+
+// Close flushes and publishes the file.
+func (w *Writer[T]) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		w.w.Abort()
+		w.closed = true
+		return err
+	}
+	w.closed = true
+	return w.w.Close()
+}
+
+// Abort discards the file.
+func (w *Writer[T]) Abort() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.w.Abort()
+}
+
+// NewEdgeWriter buffers graph.Edge records into a file.
+func NewEdgeWriter(vol storage.Volume, name string, timing Timing, bufSize int) (*Writer[graph.Edge], error) {
+	return NewWriter(vol, name, timing, bufSize, graph.EdgeBytes, graph.PutEdge)
+}
+
+// NewUpdateWriter buffers graph.Update records into a file.
+func NewUpdateWriter(vol storage.Volume, name string, timing Timing, bufSize int) (*Writer[graph.Update], error) {
+	return NewWriter(vol, name, timing, bufSize, graph.UpdateBytes, graph.PutUpdate)
+}
+
+// Shuffler routes updates to per-destination-partition update files —
+// the scatter phase's shuffle ("updates are shuffled by the destination
+// vertices into different partitions", §III).
+type Shuffler struct {
+	pt   *graph.Partitioning
+	outs []*Writer[graph.Update]
+}
+
+// NewShuffler creates one update writer per partition. nameFor maps a
+// partition index to its update file name.
+func NewShuffler(vol storage.Volume, pt *graph.Partitioning, timing Timing, bufSize int, nameFor func(p int) string) (*Shuffler, error) {
+	sh := &Shuffler{pt: pt, outs: make([]*Writer[graph.Update], pt.P())}
+	for p := 0; p < pt.P(); p++ {
+		w, err := NewUpdateWriter(vol, nameFor(p), timing, bufSize)
+		if err != nil {
+			for _, o := range sh.outs[:p] {
+				o.Abort()
+			}
+			return nil, err
+		}
+		sh.outs[p] = w
+	}
+	return sh, nil
+}
+
+// Append routes one update to the partition owning its destination.
+func (sh *Shuffler) Append(u graph.Update) error {
+	return sh.outs[sh.pt.Of(u.Dst)].Append(u)
+}
+
+// Counts returns the number of updates routed to each partition.
+func (sh *Shuffler) Counts() []int64 {
+	c := make([]int64, len(sh.outs))
+	for i, o := range sh.outs {
+		c[i] = o.Count()
+	}
+	return c
+}
+
+// SetAsync switches every partition writer to write-behind.
+func (sh *Shuffler) SetAsync() {
+	for _, o := range sh.outs {
+		o.SetAsync()
+	}
+}
+
+// LastOps returns each partition writer's latest write-behind handle
+// (nil entries where nothing flushed).
+func (sh *Shuffler) LastOps() []*disksim.AsyncOp {
+	ops := make([]*disksim.AsyncOp, len(sh.outs))
+	for i, o := range sh.outs {
+		ops[i] = o.LastOp()
+	}
+	return ops
+}
+
+// BytesPerPartition returns the bytes flushed to each partition's update
+// file so far.
+func (sh *Shuffler) BytesPerPartition() []int64 {
+	c := make([]int64, len(sh.outs))
+	for i, o := range sh.outs {
+		c[i] = o.BytesWritten()
+	}
+	return c
+}
+
+// Close flushes and publishes every partition's update file.
+func (sh *Shuffler) Close() error {
+	var first error
+	for _, o := range sh.outs {
+		if err := o.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Abort discards every partition's update file.
+func (sh *Shuffler) Abort() {
+	for _, o := range sh.outs {
+		o.Abort()
+	}
+}

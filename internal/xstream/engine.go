@@ -1,0 +1,333 @@
+package xstream
+
+import (
+	"fmt"
+
+	"fastbfs/internal/graph"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/stream"
+)
+
+// EngineName identifies X-Stream in metrics and file prefixes.
+const EngineName = "xstream"
+
+// Run executes X-Stream BFS over the stored graph graphName on vol.
+//
+// The loop implements X-Stream's staged scatter/gather: for each
+// partition in each iteration, the gather of iteration i and the scatter
+// of iteration i+1 run back-to-back on the same loaded vertex set,
+// halving vertex-file traffic ("the up-to-date vertices generated in the
+// gather phase of last iteration could be immediately used as the input
+// for the scatter phase of the next iteration", §III). Two update-stream
+// sets alternate roles per iteration so the gather's input is never
+// tainted by the scatter's output.
+//
+// X-Stream streams the full edge set of every partition every iteration
+// — it "indiscriminately traverses the whole graph in every iteration to
+// exploit sequential disk bandwidth" (§IV-B1). That is the baseline
+// behaviour FastBFS improves on.
+func Run(vol storage.Volume, graphName string, opts Options) (*Result, error) {
+	opts.SetDefaults(EngineName)
+	rt, err := NewRuntime(vol, graphName, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rt.Meta.Weighted {
+		return nil, fmt.Errorf("xstream: BFS takes unweighted graphs; %s is weighted", graphName)
+	}
+	defer rt.Cleanup()
+	if rt.InMemory() {
+		return RunInMemory(rt, EngineName, nil)
+	}
+	return runStreaming(rt)
+}
+
+func runStreaming(rt *Runtime) (*Result, error) {
+	run := metrics.Run{Engine: EngineName}
+	if _, err := rt.Prepare(); err != nil {
+		return nil, err
+	}
+
+	maxIter := rt.Opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = int(rt.Meta.Vertices) + 1
+	}
+
+	in, out := 0, 1 // update stream set roles, switched per iteration
+	var visited uint64
+
+	for iter := 0; iter < maxIter; iter++ {
+		sh, err := stream.NewShuffler(rt.Vol, rt.Parts, rt.AuxTiming(), rt.Opts.StreamBufSize,
+			func(p int) string { return rt.UpdateFile(out, p) })
+		if err != nil {
+			return nil, err
+		}
+		sh.SetAsync() // update streams are write-behind with a gather barrier
+		itRow := metrics.Iteration{Index: iter}
+
+		for p := 0; p < rt.Parts.P(); p++ {
+			// Open the scatter input ahead of the gather so its
+			// read-ahead overlaps the update streaming (the prototype's
+			// "several stream buffers for reading edges and writing
+			// updates", §III).
+			edgeScan, err := openEdgeScanner(rt, rt.EdgeFile(p))
+			if err != nil {
+				sh.Abort()
+				return nil, err
+			}
+			var v *Verts
+			if iter == 0 {
+				v = rt.InitVerts(p)
+				if rt.MarkRoot(v) {
+					itRow.NewlyVisited++
+					visited++
+				}
+			} else {
+				v, err = rt.LoadVerts(p)
+				if err != nil {
+					edgeScan.Close()
+					sh.Abort()
+					return nil, err
+				}
+				newly, applied, err := gather(rt, v, rt.UpdateFile(in, p), uint32(iter))
+				if err != nil {
+					edgeScan.Close()
+					sh.Abort()
+					return nil, err
+				}
+				itRow.NewlyVisited += newly
+				itRow.Updates += applied // updates applied this iteration were generated last iteration
+				visited += newly
+			}
+			// X-Stream scatters every partition unconditionally.
+			scanned, emitted, err := scatter(rt, v, edgeScan, uint32(iter), sh)
+			if err != nil {
+				sh.Abort()
+				return nil, err
+			}
+			itRow.EdgesStreamed += scanned
+			_ = emitted
+			if err := rt.SaveVerts(p, v); err != nil {
+				sh.Abort()
+				return nil, err
+			}
+		}
+		itRow.Frontier = itRow.NewlyVisited
+		if iter == 0 {
+			itRow.Frontier = 1
+		}
+		var emittedTotal int64
+		for _, c := range sh.Counts() {
+			emittedTotal += c
+		}
+		if err := sh.Close(); err != nil {
+			return nil, err
+		}
+		rt.BytesWritten += shufflerBytes(sh)
+		for p, op := range sh.LastOps() {
+			rt.RegisterReady(rt.UpdateFile(out, p), op)
+		}
+		run.Iterations = append(run.Iterations, itRow)
+
+		// Delete the consumed update set and switch roles.
+		if iter > 0 {
+			for p := 0; p < rt.Parts.P(); p++ {
+				rt.Vol.Remove(rt.UpdateFile(in, p))
+			}
+		}
+		in, out = out, in
+
+		if emittedTotal == 0 {
+			break
+		}
+	}
+
+	res, err := rt.CollectResult()
+	if err != nil {
+		return nil, err
+	}
+	res.Visited = visited
+	run.Visited = visited
+	rt.FinishMetrics(&run)
+	res.Metrics = run
+	return res, nil
+}
+
+// shufflerBytes sums bytes flushed by a shuffler's writers.
+func shufflerBytes(sh *stream.Shuffler) int64 {
+	var n int64
+	for _, c := range sh.BytesPerPartition() {
+		n += c
+	}
+	return n
+}
+
+// gather streams partition p's update file and applies updates: an
+// unvisited destination becomes visited at `level` with the update's
+// parent. Returns (newly visited, updates applied).
+func gather(rt *Runtime, v *Verts, updFile string, level uint32) (newly uint64, applied int64, err error) {
+	rt.AwaitFile(updFile)
+	sc, err := stream.NewUpdateScanner(rt.Vol, updFile, rt.AuxTiming(), rt.Opts.StreamBufSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sc.Close()
+	for {
+		u, ok, err := sc.Next()
+		if err != nil {
+			return newly, applied, err
+		}
+		if !ok {
+			break
+		}
+		applied++
+		i := int(u.Dst - v.Lo)
+		if i < 0 || i >= len(v.Level) {
+			return newly, applied, fmt.Errorf("xstream: update %v outside partition [%d,%d)", u, v.Lo, int(v.Lo)+len(v.Level))
+		}
+		if v.Level[i] == NoLevel {
+			v.Level[i] = level
+			v.Parent[i] = u.Parent
+			newly++
+		}
+	}
+	rt.BytesRead += sc.BytesRead()
+	rt.Compute(float64(applied) * rt.Costs.GatherPerUpdate)
+	return newly, applied, nil
+}
+
+// openEdgeScanner opens an edge input with the configured read-ahead,
+// first waiting out the file's write-behind barrier if one is pending.
+func openEdgeScanner(rt *Runtime, name string) (*stream.Scanner[graph.Edge], error) {
+	rt.AwaitFile(name)
+	sc, err := stream.NewEdgeScanner(rt.Vol, name, rt.MainTiming(), rt.Opts.StreamBufSize)
+	if err != nil {
+		return nil, err
+	}
+	sc.Prefetch(rt.Opts.PrefetchBuffers)
+	return sc, nil
+}
+
+// scatter streams a partition's edge input; edges whose source is in the
+// current frontier (level == iter) emit an update to the destination.
+func scatter(rt *Runtime, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler) (scanned, emitted int64, err error) {
+	defer sc.Close()
+	for {
+		e, ok, err := sc.Next()
+		if err != nil {
+			return scanned, emitted, err
+		}
+		if !ok {
+			break
+		}
+		scanned++
+		i := int(e.Src - v.Lo)
+		if i < 0 || i >= len(v.Level) {
+			return scanned, emitted, fmt.Errorf("xstream: edge %v outside partition [%d,%d)", e, v.Lo, int(v.Lo)+len(v.Level))
+		}
+		if v.Level[i] == iter {
+			if err := sh.Append(graph.Update{Dst: e.Dst, Parent: e.Src}); err != nil {
+				return scanned, emitted, err
+			}
+			emitted++
+		}
+	}
+	rt.BytesRead += sc.BytesRead()
+	rt.Compute(float64(scanned)*rt.Costs.ScatterPerEdge + float64(emitted)*rt.Costs.AppendPerUpdate)
+	return scanned, emitted, nil
+}
+
+// RunInMemory is the fast path when the whole graph fits the memory
+// budget: one streaming load of the edge list, then pure in-memory
+// iterations (the paper's Fig. 9 cliff at 4 GB). The trim callback, when
+// non-nil, lets FastBFS compact the in-memory edge array each iteration;
+// X-Stream passes nil and rescans everything. engineName labels the
+// metrics record.
+func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, level []uint32) []graph.Edge) (*Result, error) {
+	run := metrics.Run{Engine: engineName}
+
+	// One full sequential load of the dataset.
+	sc, err := stream.NewEdgeScanner(rt.Vol, graph.EdgeFileName(rt.Meta.Name), rt.MainTiming(), rt.Opts.StreamBufSize)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]graph.Edge, 0, rt.Meta.Edges)
+	for {
+		e, ok, err := sc.Next()
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := rt.Meta.CheckEdge(e); err != nil {
+			sc.Close()
+			return nil, err
+		}
+		edges = append(edges, e)
+	}
+	rt.BytesRead += sc.BytesRead()
+	sc.Close()
+
+	level := make([]uint32, rt.Meta.Vertices)
+	parent := make([]graph.VertexID, rt.Meta.Vertices)
+	for i := range level {
+		level[i] = NoLevel
+		parent[i] = graph.NoVertex
+	}
+	rt.Compute(float64(rt.Meta.Vertices) * rt.Costs.PerVertex)
+	level[rt.Opts.Root] = 0
+	parent[rt.Opts.Root] = rt.Opts.Root
+	visited := uint64(1)
+
+	maxIter := rt.Opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = int(rt.Meta.Vertices) + 1
+	}
+	type upd struct {
+		dst, par graph.VertexID
+	}
+	for iter := uint32(0); int(iter) < maxIter; iter++ {
+		itRow := metrics.Iteration{Index: int(iter), Frontier: 0}
+		var updates []upd
+		for _, e := range edges {
+			if level[e.Src] == iter {
+				updates = append(updates, upd{e.Dst, e.Src})
+			}
+		}
+		itRow.EdgesStreamed = int64(len(edges))
+		rt.Compute(float64(len(edges))*rt.Costs.ScatterPerEdge + float64(len(updates))*rt.Costs.AppendPerUpdate)
+		var newly uint64
+		for _, u := range updates {
+			if level[u.dst] == NoLevel {
+				level[u.dst] = iter + 1
+				parent[u.dst] = u.par
+				newly++
+			}
+		}
+		rt.Compute(float64(len(updates)) * rt.Costs.GatherPerUpdate)
+		visited += newly
+		itRow.Updates = int64(len(updates))
+		itRow.NewlyVisited = newly
+		if trim != nil {
+			before := len(edges)
+			edges = trim(edges, level)
+			itRow.StayEdges = int64(len(edges))
+			itRow.TrimActive = true
+			run.TrimmedEdges += int64(before - len(edges))
+			rt.Compute(float64(before) * rt.Costs.AppendPerStay)
+		}
+		run.Iterations = append(run.Iterations, itRow)
+		if len(updates) == 0 {
+			break
+		}
+	}
+
+	res := &Result{Levels: level, Parents: parent, Visited: visited}
+	run.Visited = visited
+	rt.FinishMetrics(&run)
+	res.Metrics = run
+	return res, nil
+}

@@ -1,0 +1,501 @@
+// Package xstream is a from-scratch implementation of the X-Stream
+// edge-centric graph engine (Roy et al., SOSP'13) specialized to BFS —
+// the system the FastBFS paper modifies and its primary baseline.
+//
+// X-Stream partitions the vertex set into balanced intervals, stores
+// each partition's out-edges in its own streaming file, and runs
+// bulk-synchronous iterations of scatter (stream edges, emit updates
+// shuffled by destination partition) and gather (stream updates, apply
+// to in-memory vertex state). It never sorts edges — "no preprocessing
+// needed" — and re-streams the *entire* edge set every iteration, which
+// is exactly the indiscriminate I/O FastBFS trims away.
+//
+// This package also exports the scaffolding FastBFS shares with
+// X-Stream (options, the per-partition vertex store, and the initial
+// streaming-partition split), since the paper builds FastBFS by
+// modifying X-Stream.
+package xstream
+
+import (
+	"fmt"
+	"time"
+
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/stream"
+)
+
+// PerVertexMemBytes is the modelled in-memory footprint per vertex of a
+// loaded partition (8 bytes of state plus buffer overhead); the memory
+// budget divided by this determines the partition count, as in §II-B
+// ("the vertices partitioning makes sure that each partition and its
+// intermediate data can fit into memory").
+const PerVertexMemBytes = 16
+
+// InMemoryFactor is how many times the binary edge-list size must fit in
+// the memory budget before the engine switches to the in-memory fast
+// path (edges + an update set + working room, matching the paper's
+// observation that rmat22's 768 MB ran in memory at 4 GB but not 2 GB).
+const InMemoryFactor = 3
+
+// SimConfig selects simulated-time mode and carries the device and cost
+// models. A nil SimConfig in Options means wall-clock mode: the engine
+// still moves every byte through the volume but reports elapsed real
+// time instead of modelled time.
+type SimConfig struct {
+	CPU   disksim.CPU
+	Costs disksim.Costs
+	// MainDisk holds the graph: edge files, vertex files and (for
+	// FastBFS in single-disk mode) stay files.
+	MainDisk *disksim.Device
+	// AuxDisk, when non-nil, is the paper's "additional disk": update
+	// streams and the stay-out stream are placed there (Fig. 10).
+	AuxDisk *disksim.Device
+	// StayDisk, when non-nil, dedicates a device to the stay-out stream
+	// ("FastBFS can appoint the stay list writing to a different disk",
+	// §II-C2), overriding the per-iteration alternation. With a slow
+	// dedicated stay disk the grace-and-cancel path becomes observable.
+	StayDisk *disksim.Device
+}
+
+// DefaultSim returns a single-HDD simulation matching the paper's
+// testbed defaults.
+func DefaultSim() *SimConfig {
+	return &SimConfig{
+		CPU:      disksim.DefaultCPU(),
+		Costs:    disksim.DefaultCosts(),
+		MainDisk: disksim.HDD("hdd0"),
+	}
+}
+
+// ScaledSim returns a single-HDD simulation whose positioning cost is
+// scaled down by factor, for benchmarks whose datasets are scaled down
+// by the same factor from the paper's (see disksim.HDDScaled).
+func ScaledSim(factor float64) *SimConfig {
+	return &SimConfig{
+		CPU:      disksim.DefaultCPU(),
+		Costs:    disksim.DefaultCosts(),
+		MainDisk: disksim.HDDScaled("hdd0", factor),
+	}
+}
+
+// Options configures an engine run. The zero value is not usable; call
+// (*Options).SetDefaults or fill the fields.
+type Options struct {
+	// Root is the BFS source vertex.
+	Root graph.VertexID
+	// MemoryBudget is the working memory in bytes (the paper evaluates
+	// 256 MB – 4 GB). It determines the partition count and whether the
+	// in-memory fast path triggers. Default 1 GiB.
+	MemoryBudget uint64
+	// Partitions overrides the partition count derived from
+	// MemoryBudget when nonzero. GraphChi uses it because its memory
+	// shard holds edges, not just vertices, so its interval count is
+	// edge-bound.
+	Partitions int
+	// Threads is the compute thread count (Fig. 8). Default 4.
+	Threads int
+	// StreamBufSize is the stream buffer size in bytes. Default 1 MiB.
+	StreamBufSize int
+	// PrefetchBuffers is the read-ahead depth of edge and update
+	// scanners ("the number of edge buffers can be more than one for
+	// pre-fetching", §III). Default 2; set negative to disable.
+	PrefetchBuffers int
+	// Sim enables simulated timing; nil runs in wall-clock mode.
+	Sim *SimConfig
+	// FilePrefix namespaces the engine's working files on the volume.
+	// Defaults to the engine name.
+	FilePrefix string
+	// KeepFiles leaves working files on the volume after the run
+	// (useful for debugging and tests).
+	KeepFiles bool
+	// MaxIterations caps the iteration count as a safety net; default
+	// vertices + 1.
+	MaxIterations int
+}
+
+// SetDefaults fills unset fields with defaults.
+func (o *Options) SetDefaults(engineName string) {
+	if o.MemoryBudget == 0 {
+		o.MemoryBudget = 1 << 30
+	}
+	if o.Threads == 0 {
+		o.Threads = 4
+	}
+	if o.StreamBufSize == 0 {
+		o.StreamBufSize = stream.DefaultBufSize
+	}
+	if o.PrefetchBuffers == 0 {
+		o.PrefetchBuffers = 2
+	}
+	if o.PrefetchBuffers < 0 {
+		o.PrefetchBuffers = 0
+	}
+	if o.FilePrefix == "" {
+		o.FilePrefix = engineName
+	}
+}
+
+// Result is the output of an engine run: the BFS tree plus the
+// measurement record.
+type Result struct {
+	Levels  []uint32
+	Parents []graph.VertexID
+	Visited uint64
+	Metrics metrics.Run
+}
+
+// Runtime bundles the pieces of a run shared by X-Stream and FastBFS:
+// the volume, partitioning, virtual clock (nil in wall mode), byte
+// accounting and naming.
+type Runtime struct {
+	Vol   storage.Volume
+	Meta  graph.Meta
+	Parts *graph.Partitioning
+	Opts  Options
+
+	Clock *disksim.Clock
+	Costs disksim.Costs
+
+	BytesRead    int64
+	BytesWritten int64
+
+	// fileReady maps a file name to its pending write-behind barrier:
+	// the last background flush that must complete before a reader can
+	// depend on the file's contents (time-model only; data is always
+	// complete).
+	fileReady map[string]*disksim.AsyncOp
+
+	wallStart time.Time
+}
+
+// RegisterReady records a file's write-behind barrier.
+func (rt *Runtime) RegisterReady(name string, op *disksim.AsyncOp) {
+	if op == nil {
+		return
+	}
+	rt.fileReady[name] = op
+}
+
+// AwaitFile stalls the clock until the named file's write-behind barrier
+// has completed (no-op for files written synchronously or in wall mode).
+func (rt *Runtime) AwaitFile(name string) {
+	op, ok := rt.fileReady[name]
+	if !ok {
+		return
+	}
+	delete(rt.fileReady, name)
+	if rt.Clock != nil {
+		rt.Clock.WaitUntil(rt.Clock.BgCompletion(op))
+	}
+}
+
+// NewRuntime validates options against a stored graph and prepares the
+// shared run state.
+func NewRuntime(vol storage.Volume, graphName string, opts Options) (*Runtime, error) {
+	m, err := graph.LoadMeta(vol, graphName)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(opts.Root) >= m.Vertices {
+		return nil, fmt.Errorf("xstream: root %d outside vertex space [0,%d)", opts.Root, m.Vertices)
+	}
+	p := opts.Partitions
+	if p <= 0 {
+		p = graph.PartitionsForMemory(m.Vertices, PerVertexMemBytes, opts.MemoryBudget)
+	}
+	if uint64(p) > m.Vertices {
+		p = int(m.Vertices)
+	}
+	parts, err := graph.NewPartitioning(m.Vertices, p)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{Vol: vol, Meta: m, Parts: parts, Opts: opts,
+		fileReady: make(map[string]*disksim.AsyncOp), wallStart: time.Now()}
+	if opts.Sim != nil {
+		if opts.Sim.MainDisk == nil {
+			return nil, fmt.Errorf("xstream: SimConfig requires MainDisk")
+		}
+		rt.Clock = disksim.NewClock(opts.Sim.CPU, opts.Threads)
+		rt.Costs = opts.Sim.Costs
+	}
+	return rt, nil
+}
+
+// InMemory reports whether the whole graph fits the memory budget.
+func (rt *Runtime) InMemory() bool {
+	need := InMemoryFactor*rt.Meta.DataBytes() + 2*PerVertexMemBytes*rt.Meta.Vertices
+	return rt.Opts.MemoryBudget >= need
+}
+
+// MainTiming returns the stream timing for the main disk.
+func (rt *Runtime) MainTiming() stream.Timing {
+	if rt.Clock == nil {
+		return stream.Timing{}
+	}
+	return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.MainDisk}
+}
+
+// AuxTiming returns the stream timing for the update/stay-out disk —
+// the additional disk when configured, otherwise the main disk.
+func (rt *Runtime) AuxTiming() stream.Timing {
+	if rt.Clock == nil {
+		return stream.Timing{}
+	}
+	if rt.Opts.Sim.AuxDisk != nil {
+		return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.AuxDisk}
+	}
+	return rt.MainTiming()
+}
+
+// Compute charges thread-scaled compute work (no-op in wall mode).
+func (rt *Runtime) Compute(seconds float64) {
+	if rt.Clock != nil {
+		rt.Clock.Compute(seconds)
+	}
+}
+
+// FinishMetrics fills the timing and device fields of a metrics record.
+func (rt *Runtime) FinishMetrics(run *metrics.Run) {
+	run.Graph = rt.Meta.Name
+	run.BytesRead = rt.BytesRead
+	run.BytesWritten = rt.BytesWritten
+	if rt.Clock != nil {
+		run.ExecTime = rt.Clock.Now()
+		run.IOWait = rt.Clock.IOWait()
+		run.ComputeTime = rt.Clock.ComputeTime()
+		devs := []*disksim.Device{rt.Opts.Sim.MainDisk}
+		if rt.Opts.Sim.AuxDisk != nil {
+			devs = append(devs, rt.Opts.Sim.AuxDisk)
+		}
+		if rt.Opts.Sim.StayDisk != nil {
+			devs = append(devs, rt.Opts.Sim.StayDisk)
+		}
+		for _, d := range devs {
+			run.Devices = append(run.Devices, metrics.DeviceStats{
+				Name: d.Name, BytesRead: d.BytesRead(), BytesWritten: d.BytesWritten(),
+				BusyTime: d.BusyTime(), Ops: d.Ops(),
+			})
+		}
+	} else {
+		run.ExecTime = time.Since(rt.wallStart).Seconds()
+	}
+}
+
+// File names for the engine's working set.
+
+// EdgeFile is partition p's out-edge file.
+func (rt *Runtime) EdgeFile(p int) string { return fmt.Sprintf("%s_edge_%d", rt.Opts.FilePrefix, p) }
+
+// VertexFile is partition p's vertex-state file.
+func (rt *Runtime) VertexFile(p int) string { return fmt.Sprintf("%s_vtx_%d", rt.Opts.FilePrefix, p) }
+
+// UpdateFile is partition p's update file in stream set `set` (0 or 1 —
+// the two update stream sets whose roles switch each iteration, §III).
+func (rt *Runtime) UpdateFile(set, p int) string {
+	return fmt.Sprintf("%s_upd%d_%d", rt.Opts.FilePrefix, set, p)
+}
+
+// StayFile is partition p's stay file generated in iteration iter.
+func (rt *Runtime) StayFile(iter, p int) string {
+	return fmt.Sprintf("%s_stay%d_%d", rt.Opts.FilePrefix, iter%2, p)
+}
+
+// Cleanup removes every working file with the run's prefix.
+func (rt *Runtime) Cleanup() {
+	if rt.Opts.KeepFiles {
+		return
+	}
+	prefix := rt.Opts.FilePrefix + "_"
+	for _, name := range rt.Vol.List() {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			rt.Vol.Remove(name)
+		}
+	}
+}
+
+// Prepare splits the stored raw edge list into per-partition streaming
+// edge files — X-Stream's cheap, sort-free setup pass (one sequential
+// read of the dataset plus one sequential write; contrast with
+// GraphChi's shard sort). It returns the per-partition edge counts.
+func (rt *Runtime) Prepare() ([]int64, error) {
+	tm := rt.MainTiming()
+	sc, err := stream.NewEdgeScanner(rt.Vol, graph.EdgeFileName(rt.Meta.Name), tm, rt.Opts.StreamBufSize)
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	outs := make([]*stream.Writer[graph.Edge], rt.Parts.P())
+	for p := range outs {
+		w, err := stream.NewEdgeWriter(rt.Vol, rt.EdgeFile(p), tm, rt.Opts.StreamBufSize)
+		if err != nil {
+			for _, o := range outs[:p] {
+				o.Abort()
+			}
+			return nil, err
+		}
+		w.SetAsync() // write-behind; readers barrier through AwaitFile
+		outs[p] = w
+	}
+	for {
+		e, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := rt.Meta.CheckEdge(e); err != nil {
+			return nil, err
+		}
+		if err := outs[rt.Parts.Of(e.Src)].Append(e); err != nil {
+			return nil, err
+		}
+	}
+	rt.Compute(float64(rt.Meta.Edges) * rt.Costs.ScatterPerEdge)
+	counts := make([]int64, len(outs))
+	for p, o := range outs {
+		counts[p] = o.Count()
+		if err := o.Close(); err != nil {
+			return nil, err
+		}
+		rt.BytesWritten += o.BytesWritten()
+		rt.RegisterReady(rt.EdgeFile(p), o.LastOp())
+	}
+	rt.BytesRead += sc.BytesRead()
+	return counts, nil
+}
+
+// Verts is one partition's in-memory vertex state: BFS level (NoLevel =
+// unvisited) and parent.
+type Verts struct {
+	Lo     graph.VertexID
+	Level  []uint32
+	Parent []graph.VertexID
+}
+
+// NoLevel marks an unvisited vertex in a Verts array and on disk.
+const NoLevel = uint32(0xFFFFFFFF)
+
+// vertRecBytes is the on-disk size of one vertex record (level, parent).
+const vertRecBytes = 8
+
+type vertRec struct {
+	level  uint32
+	parent graph.VertexID
+}
+
+// InitVerts returns a fresh all-unvisited vertex state for partition p.
+func (rt *Runtime) InitVerts(p int) *Verts {
+	lo, hi := rt.Parts.Interval(p)
+	n := int(hi - lo)
+	v := &Verts{Lo: lo, Level: make([]uint32, n), Parent: make([]graph.VertexID, n)}
+	for i := range v.Level {
+		v.Level[i] = NoLevel
+		v.Parent[i] = graph.NoVertex
+	}
+	rt.Compute(float64(n) * rt.Costs.PerVertex)
+	return v
+}
+
+// LoadVerts reads partition p's vertex-state file into memory.
+func (rt *Runtime) LoadVerts(p int) (*Verts, error) {
+	rt.AwaitFile(rt.VertexFile(p))
+	lo, hi := rt.Parts.Interval(p)
+	n := int(hi - lo)
+	sc, err := stream.NewScanner(rt.Vol, rt.VertexFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, vertRecBytes,
+		func(b []byte) vertRec {
+			u := graph.GetUpdate(b) // same layout: two little-endian uint32
+			return vertRec{level: uint32(u.Dst), parent: u.Parent}
+		})
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	v := &Verts{Lo: lo, Level: make([]uint32, n), Parent: make([]graph.VertexID, n)}
+	for i := 0; i < n; i++ {
+		rec, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("xstream: vertex file %s truncated at record %d of %d", rt.VertexFile(p), i, n)
+		}
+		v.Level[i] = rec.level
+		v.Parent[i] = rec.parent
+	}
+	rt.BytesRead += sc.BytesRead()
+	rt.Compute(float64(n) * rt.Costs.PerVertex)
+	return v, nil
+}
+
+// SaveVerts writes partition p's vertex state back to disk ("the updated
+// vertices of each partition should be saved back to disk after each
+// iteration", §II-A).
+func (rt *Runtime) SaveVerts(p int, v *Verts) error {
+	w, err := stream.NewWriter(rt.Vol, rt.VertexFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, vertRecBytes,
+		func(b []byte, rec vertRec) {
+			graph.PutUpdate(b, graph.Update{Dst: graph.VertexID(rec.level), Parent: rec.parent})
+		})
+	if err != nil {
+		return err
+	}
+	w.SetAsync() // write-behind; next LoadVerts barriers through AwaitFile
+	for i := range v.Level {
+		if err := w.Append(vertRec{level: v.Level[i], parent: v.Parent[i]}); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	rt.BytesWritten += w.BytesWritten()
+	rt.RegisterReady(rt.VertexFile(p), w.LastOp())
+	rt.Compute(float64(len(v.Level)) * rt.Costs.PerVertex)
+	return nil
+}
+
+// MarkRoot marks the root vertex visited at level 0 if it falls in v.
+func (rt *Runtime) MarkRoot(v *Verts) bool {
+	root := rt.Opts.Root
+	lo := v.Lo
+	if uint64(root) < uint64(lo) || int(root-lo) >= len(v.Level) {
+		return false
+	}
+	v.Level[root-lo] = 0
+	v.Parent[root-lo] = root
+	return true
+}
+
+// CollectResult assembles the final BFS tree from every partition's
+// vertex file. It does not charge I/O time: dumping the result is
+// outside the measured execution, like the paper's output step.
+func (rt *Runtime) CollectResult() (*Result, error) {
+	res := &Result{
+		Levels:  make([]uint32, rt.Meta.Vertices),
+		Parents: make([]graph.VertexID, rt.Meta.Vertices),
+	}
+	for p := 0; p < rt.Parts.P(); p++ {
+		b, err := storage.ReadAll(rt.Vol, rt.VertexFile(p))
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := rt.Parts.Interval(p)
+		if len(b) != int(hi-lo)*vertRecBytes {
+			return nil, fmt.Errorf("xstream: vertex file %s has %d bytes, want %d", rt.VertexFile(p), len(b), int(hi-lo)*vertRecBytes)
+		}
+		for i := 0; i < int(hi-lo); i++ {
+			u := graph.GetUpdate(b[i*vertRecBytes:])
+			res.Levels[int(lo)+i] = uint32(u.Dst)
+			res.Parents[int(lo)+i] = u.Parent
+			if uint32(u.Dst) != NoLevel {
+				res.Visited++
+			}
+		}
+	}
+	return res, nil
+}
