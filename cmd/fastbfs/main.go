@@ -8,25 +8,38 @@
 //	fastbfs -dir DATA -graph rmat20 -root 1 [-engine fastbfs|xstream|graphchi]
 //	        [-mem 1073741824] [-threads 4] [-sim] [-simscale 2048]
 //	        [-twodisks] [-ssd] [-trimstart 0] [-notrim] [-noselsched]
-//	        [-report] [-validate]
+//	        [-report] [-validate] [-quiet]
+//	        [-tracefile trace.jsonl] [-debugaddr localhost:6060]
 //	fastbfs -dir DATA -graph rmat20 -config run.conf
 //
 // A -config file carries the paper's runtime settings (engine, budgets,
 // trim policy, additional disk location) in the same key=value format as
 // the dataset configuration; command-line flags are ignored when it is
-// given, except -report and -validate.
+// given, except -report, -validate and the observability flags.
+//
+// Observability: each BFS iteration prints a one-line progress update to
+// stderr (suppress with -quiet). -tracefile writes a JSONL span/counter
+// trace readable by cmd/tracecat. -debugaddr serves net/http/pprof under
+// /debug/pprof/, the live engine counters as expvar under /debug/vars,
+// and a plain-text progress page at /.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"sync"
 
 	"fastbfs/internal/bfs"
 	"fastbfs/internal/core"
 	"fastbfs/internal/disksim"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/graphchi"
+	"fastbfs/internal/obs"
 	"fastbfs/internal/runconfig"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/xstream"
@@ -49,24 +62,35 @@ func main() {
 	report := flag.Bool("report", false, "print the full per-iteration report")
 	validate := flag.Bool("validate", false, "validate the BFS tree against the edge list (loads it in memory)")
 	configPath := flag.String("config", "", "runtime-settings file (overrides the other flags)")
+	traceFile := flag.String("tracefile", "", "write a JSONL span/counter trace to this file (see cmd/tracecat)")
+	debugAddr := flag.String("debugaddr", "", "serve pprof, expvar counters and a progress page on this address (e.g. localhost:6060)")
+	quiet := flag.Bool("quiet", false, "suppress per-iteration progress lines on stderr")
 	flag.Parse()
 
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "fastbfs: -graph is required")
 		os.Exit(2)
 	}
-	vol, err := storage.NewOS(*dir)
+	osVol, err := storage.NewOS(*dir)
 	if err != nil {
 		fail(err)
 	}
+
+	ob, vol, err := setupObservability(osVol, *traceFile, *debugAddr, *quiet)
+	if err != nil {
+		fail(err)
+	}
+	defer ob.close()
+
 	if *configPath != "" {
-		runFromConfig(vol, *name, *configPath, *report, *validate)
+		runFromConfig(vol, *name, *configPath, *report, *validate, ob)
 		return
 	}
 	opts := xstream.Options{
 		Root:         graph.VertexID(*root),
 		MemoryBudget: *mem,
 		Threads:      *threads,
+		Tracer:       ob.tracer,
 	}
 	if *sim {
 		cfg := &xstream.SimConfig{CPU: disksim.DefaultCPU(), Costs: disksim.DefaultCosts()}
@@ -84,6 +108,7 @@ func main() {
 		}
 		opts.Sim = cfg
 	}
+	ob.noteRun(*engine, *name, *sim)
 
 	var res *xstream.Result
 	switch *engine {
@@ -105,26 +130,14 @@ func main() {
 		fail(err)
 	}
 
-	if *report {
-		fmt.Print(res.Metrics.Report())
-	} else {
-		fmt.Println(res.Metrics.String())
-	}
+	printResult(res, *report)
 	if *validate {
-		m, edges, err := graph.LoadEdges(vol, *name)
-		if err != nil {
-			fail(err)
-		}
-		r := &bfs.Result{Root: graph.VertexID(*root), Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
-		if err := bfs.Validate(m, edges, r); err != nil {
-			fail(fmt.Errorf("validation FAILED: %w", err))
-		}
-		fmt.Println("validation: OK (Graph500-style parent tree check)")
+		validateResult(vol, *name, graph.VertexID(*root), res)
 	}
 }
 
 // runFromConfig executes a run described by a runtime-settings file.
-func runFromConfig(vol *storage.OS, name, path string, report, validate bool) {
+func runFromConfig(vol storage.Volume, name, path string, report, validate bool, ob *observability) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -134,33 +147,156 @@ func runFromConfig(vol *storage.OS, name, path string, report, validate bool) {
 	if err != nil {
 		fail(err)
 	}
+	ob.noteRun(cfg.Engine, name, cfg.Sim)
 	var res *xstream.Result
 	switch cfg.Engine {
 	case "fastbfs":
-		res, err = core.Run(vol, name, cfg.CoreOptions())
+		co := cfg.CoreOptions()
+		co.Base.Tracer = ob.tracer
+		res, err = core.Run(vol, name, co)
 	case "xstream":
-		res, err = xstream.Run(vol, name, cfg.EngineOptions())
+		eo := cfg.EngineOptions()
+		eo.Tracer = ob.tracer
+		res, err = xstream.Run(vol, name, eo)
 	case "graphchi":
-		res, err = graphchi.Run(vol, name, cfg.EngineOptions())
+		eo := cfg.EngineOptions()
+		eo.Tracer = ob.tracer
+		res, err = graphchi.Run(vol, name, eo)
 	}
 	if err != nil {
 		fail(err)
 	}
+	printResult(res, report)
+	if validate {
+		validateResult(vol, name, cfg.Root, res)
+	}
+}
+
+func printResult(res *xstream.Result, report bool) {
 	if report {
 		fmt.Print(res.Metrics.Report())
 	} else {
 		fmt.Println(res.Metrics.String())
 	}
-	if validate {
-		m, edges, err := graph.LoadEdges(vol, name)
+}
+
+func validateResult(vol storage.Volume, name string, root graph.VertexID, res *xstream.Result) {
+	m, edges, err := graph.LoadEdges(vol, name)
+	if err != nil {
+		fail(err)
+	}
+	r := &bfs.Result{Root: root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+	if err := bfs.Validate(m, edges, r); err != nil {
+		fail(fmt.Errorf("validation FAILED: %w", err))
+	}
+	fmt.Println("validation: OK (Graph500-style parent tree check)")
+}
+
+// observability bundles the run's tracer and its attachments (trace
+// file, progress printer, debug HTTP server, counting volume).
+type observability struct {
+	tracer *obs.Tracer
+	vol    *storage.Counting // nil when tracing is off
+}
+
+// setupObservability builds the tracer requested by the flags and, when
+// any observer is active, wraps the volume so byte/op counters flow to
+// the progress page and wall-mode device stats. With -quiet and no
+// -tracefile/-debugaddr it returns a nil tracer: the engines' hot paths
+// then pay nothing.
+func setupObservability(vol storage.Volume, traceFile, debugAddr string, quiet bool) (*observability, storage.Volume, error) {
+	if traceFile == "" && debugAddr == "" && quiet {
+		return &observability{}, vol, nil
+	}
+	tr := obs.New()
+	cv := storage.NewCounting(vol, "os0")
+	ob := &observability{tracer: tr, vol: cv}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
 		if err != nil {
-			fail(err)
+			return nil, nil, err
 		}
-		r := &bfs.Result{Root: cfg.Root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
-		if err := bfs.Validate(m, edges, r); err != nil {
-			fail(fmt.Errorf("validation FAILED: %w", err))
+		tr.AddSink(obs.NewJSONLSink(f))
+	}
+	if !quiet {
+		tr.AddSink(progressSink(os.Stderr))
+	}
+	if debugAddr != "" {
+		if err := ob.serveDebug(debugAddr); err != nil {
+			return nil, nil, err
 		}
-		fmt.Println("validation: OK (Graph500-style parent tree check)")
+	}
+	return ob, cv, nil
+}
+
+func (ob *observability) close() {
+	if err := ob.tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "fastbfs: closing trace:", err)
+	}
+}
+
+func (ob *observability) noteRun(engine, graphName string, sim bool) {
+	mode := "wall"
+	if sim {
+		mode = "sim"
+	}
+	ob.tracer.Note("run", map[string]string{"engine": engine, "graph": graphName, "mode": mode})
+}
+
+// progressSink prints a one-line update per completed BFS iteration.
+// Timestamps are virtual seconds in sim mode, wall seconds otherwise.
+func progressSink(w *os.File) obs.Sink {
+	return obs.FuncSink(func(e obs.Event) {
+		if e.Kind != obs.KindSpan || e.Name != "iteration" {
+			return
+		}
+		fmt.Fprintf(w, "iter %3d  frontier=%-9d new=%-9d edges=%-10d t=%.3fs\n",
+			e.Iter, e.Attrs["frontier"], e.Attrs["new"], e.Attrs["edges"], e.T)
+	})
+}
+
+var publishOnce sync.Once
+
+// serveDebug starts the debug HTTP server: net/http/pprof under
+// /debug/pprof/, expvar (including the live engine counters, published
+// as "fastbfs") under /debug/vars, and a plain-text progress page at /.
+func (ob *observability) serveDebug(addr string) error {
+	publishOnce.Do(func() {
+		expvar.Publish("fastbfs", expvar.Func(func() any { return ob.tracer.CounterMap() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", ob.progressPage)
+	// Bind synchronously so a bad address fails the run up front; the
+	// server itself runs for the life of the process.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug server on %s: %w", addr, err)
+	}
+	go http.Serve(ln, mux)
+	return nil
+}
+
+func (ob *observability) progressPage(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "fastbfs live progress\n\n")
+	fmt.Fprintf(w, "engine time: %.3f s\n\n", ob.tracer.LastTime())
+	for _, cv := range ob.tracer.Snapshot() {
+		fmt.Fprintf(w, "%-22s %d\n", cv.Name, cv.Value)
+	}
+	if ob.vol != nil {
+		s := ob.vol.Stats()
+		fmt.Fprintf(w, "\nvolume %s: read=%d bytes (%d opens), written=%d bytes (%d files)\n",
+			ob.vol.Name(), s.BytesRead, s.ReadOps, s.BytesWritten, s.WriteOps)
 	}
 }
 

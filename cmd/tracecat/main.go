@@ -1,0 +1,133 @@
+// Command tracecat pretty-prints JSONL traces written by fastbfs
+// -tracefile: a per-iteration phase breakdown (leaf-span seconds for
+// load / gather / scatter / shuffle / stay-write ...), the final counter
+// snapshot, and optionally the raw event stream.
+//
+// Usage:
+//
+//	tracecat trace.jsonl          per-iteration phase breakdown
+//	tracecat -events trace.jsonl  raw events, one line each
+//	tracecat -                    read the trace from stdin
+//
+// Phase times come from leaf spans only, so the per-iteration rows
+// partition the engine's timeline: their grand total matches the run's
+// ExecTime (simulated seconds in -sim traces, wall seconds otherwise).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"fastbfs/internal/obs"
+)
+
+func main() {
+	events := flag.Bool("events", false, "dump raw events instead of the summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecat [-events] trace.jsonl|-")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	evs, err := obs.ReadEvents(r)
+	if err != nil {
+		fail(err)
+	}
+	if *events {
+		dumpEvents(evs)
+		return
+	}
+	printSummary(obs.Summarize(evs))
+}
+
+func dumpEvents(evs []obs.Event) {
+	for _, e := range evs {
+		switch e.Kind {
+		case obs.KindSpan:
+			fmt.Printf("%10.6f span %-12s id=%d parent=%d iter=%d part=%d dur=%.6f %v\n",
+				e.T, e.Name, e.ID, e.Parent, e.Iter, e.Part, e.Dur, e.Attrs)
+		case obs.KindCounters:
+			fmt.Printf("%10.6f counters %v\n", e.T, e.Counters)
+		case obs.KindNote:
+			fmt.Printf("%10.6f note %s %v\n", e.T, e.Name, e.Labels)
+		}
+	}
+}
+
+func printSummary(s *obs.Summary) {
+	if len(s.Labels) > 0 {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+s.Labels[k])
+		}
+		fmt.Println(strings.Join(parts, " "))
+	}
+	if len(s.Iters) == 0 {
+		fmt.Println("trace contains no spans")
+		return
+	}
+
+	// Header: iter, one column per phase, total, then frontier/new when
+	// the iteration spans carried them.
+	fmt.Printf("%5s", "iter")
+	for _, ph := range s.Phases {
+		fmt.Printf(" %11s", ph)
+	}
+	fmt.Printf(" %11s %10s %10s\n", "total", "frontier", "new")
+	for _, ip := range s.Iters {
+		if ip.Iter < 0 {
+			fmt.Printf("%5s", "setup")
+		} else {
+			fmt.Printf("%5d", ip.Iter)
+		}
+		for _, ph := range s.Phases {
+			fmt.Printf(" %11.6f", ip.Phase[ph])
+		}
+		fmt.Printf(" %11.6f", ip.Total)
+		if ip.Attrs != nil {
+			fmt.Printf(" %10d %10d", ip.Attrs["frontier"], ip.Attrs["new"])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%5s", "sum")
+	for _, ph := range s.Phases {
+		fmt.Printf(" %11.6f", s.PhaseTotal[ph])
+	}
+	fmt.Printf(" %11.6f\n", s.LeafTotal)
+
+	if len(s.Counters) > 0 {
+		fmt.Println("\ncounters:")
+		names := make([]string, 0, len(s.Counters))
+		for n := range s.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-22s %d\n", n, s.Counters[n])
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracecat:", err)
+	os.Exit(1)
+}

@@ -137,6 +137,7 @@ func Registry() []Experiment {
 		{ID: "abl-staybuf", Title: "Ablation: stay buffer count", Run: AblStayBuffers},
 		{ID: "abl-grace", Title: "Ablation: cancellation grace period", Run: AblGrace},
 		{ID: "abl-features", Title: "Ablation: trimming / selective scheduling on-off", Run: AblFeatures},
+		{ID: "phases", Title: "Per-iteration phase breakdown (traced FastBFS run)", Run: PhaseBreakdown},
 	}
 }
 

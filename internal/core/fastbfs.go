@@ -36,6 +36,7 @@ import (
 
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
+	"fastbfs/internal/obs"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/stream"
 	"fastbfs/internal/xstream"
@@ -143,6 +144,9 @@ type engine struct {
 	sw    *stream.StayWriter
 	parts []partState
 
+	tr  *obs.Tracer
+	ctr obs.EngineCounters
+
 	visited       uint64
 	cancellations int
 	skipped       int
@@ -176,10 +180,16 @@ func (e *engine) otherTiming(t stream.Timing) stream.Timing {
 
 func (e *engine) run() (*Result, error) {
 	run := metrics.Run{Engine: EngineName}
+	e.tr = e.rt.Tracer()
+	e.ctr = obs.NewEngineCounters(e.tr)
+	runSpan := e.tr.Span("run").Attr("partitions", int64(e.rt.Parts.P()))
+	prep := runSpan.Child("load")
 	if _, err := e.rt.Prepare(); err != nil {
 		return nil, err
 	}
+	prep.Attr("edges", int64(e.rt.Meta.Edges)).End()
 	e.sw = stream.NewStayWriter(e.rt.Vol, e.opts.StayBufSize, e.opts.StayBufCount)
+	e.sw.WaitCounter = e.ctr.BufferWaits
 	defer e.sw.Shutdown()
 	defer e.drainPending()
 
@@ -196,6 +206,8 @@ func (e *engine) run() (*Result, error) {
 	in, out := 0, 1
 
 	for iter := 0; iter < maxIter; iter++ {
+		itSpan := runSpan.Child("iteration").SetIter(iter)
+		e.ctr.Iteration.Set(int64(iter))
 		trimNow := e.trimActive(iter)
 		sh, err := stream.NewShuffler(e.rt.Vol, e.rt.Parts, e.auxTiming(), e.rt.Opts.StreamBufSize,
 			func(p int) string { return e.rt.UpdateFile(out, p) })
@@ -206,7 +218,7 @@ func (e *engine) run() (*Result, error) {
 		itRow := metrics.Iteration{Index: iter, TrimActive: trimNow}
 
 		for p := 0; p < e.rt.Parts.P(); p++ {
-			if err := e.iteratePartition(p, iter, trimNow, sh, &itRow); err != nil {
+			if err := e.iteratePartition(p, iter, trimNow, sh, &itRow, itSpan); err != nil {
 				sh.Abort()
 				return nil, err
 			}
@@ -217,9 +229,11 @@ func (e *engine) run() (*Result, error) {
 		for _, c := range counts {
 			emittedTotal += c
 		}
+		shs := itSpan.Child("shuffle")
 		if err := sh.Close(); err != nil {
 			return nil, err
 		}
+		shs.Attr("updates", emittedTotal).End()
 		for p := range e.parts {
 			e.parts[p].updates = counts[p]
 		}
@@ -237,6 +251,14 @@ func (e *engine) run() (*Result, error) {
 			itRow.Frontier = 1
 		}
 		run.Iterations = append(run.Iterations, itRow)
+		e.ctr.Frontier.Set(int64(itRow.Frontier))
+		e.ctr.BytesRead.Set(e.rt.BytesRead)
+		e.ctr.BytesWritten.Set(e.rt.BytesWritten)
+		itSpan.Attr("frontier", int64(itRow.Frontier)).
+			Attr("new", int64(itRow.NewlyVisited)).
+			Attr("edges", itRow.EdgesStreamed).
+			Attr("stay_edges", itRow.StayEdges).End()
+		e.tr.EmitCounters()
 
 		if iter > 0 {
 			for p := 0; p < e.rt.Parts.P(); p++ {
@@ -249,6 +271,8 @@ func (e *engine) run() (*Result, error) {
 			break
 		}
 	}
+	runSpan.Attr("visited", int64(e.visited)).End()
+	e.tr.EmitCounters()
 
 	res, err := e.rt.CollectResult()
 	if err != nil {
@@ -269,7 +293,7 @@ func (e *engine) run() (*Result, error) {
 // updates addressed to it, then scatter its edge input (adopting or
 // cancelling the pending stay file), writing a new stay file if trimming
 // is active.
-func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler, itRow *metrics.Iteration) error {
+func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span) error {
 	st := &e.parts[p]
 	rootHere := iter == 0 && e.rt.Parts.Contains(p, e.rt.Opts.Root)
 
@@ -280,14 +304,20 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 		st.frontier = 0
 		itRow.SkippedPartitions++
 		e.skipped++
+		e.ctr.Skipped.Add(1)
 		return nil
 	}
 
 	// Resolve and open the scatter input ahead of the gather: the
 	// pending stay file's adopt-or-cancel decision happens as the
 	// partition's processing starts (§II-C2), and the opened scanner's
-	// read-ahead overlaps the update streaming.
+	// read-ahead overlaps the update streaming. The grace wait for a
+	// late stay write is time spent on the stay mechanism, hence the
+	// stay-write span.
+	sws := itSpan.Child("stay-write").SetPart(p)
 	input, inputTiming := e.resolveInput(p, itRow)
+	sws.End()
+	lds := itSpan.Child("load").SetPart(p)
 	e.rt.AwaitFile(input)
 	edgeScan, err := stream.NewEdgeScanner(e.rt.Vol, input, inputTiming, e.rt.Opts.StreamBufSize)
 	if err != nil {
@@ -301,21 +331,28 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 		if e.rt.MarkRoot(v) {
 			st.frontier = 1
 			e.visited++
+			e.ctr.Visited.Add(1)
 			itRow.NewlyVisited++
 		} else {
 			st.frontier = 0
 		}
+		lds.End()
 	} else {
 		v, err = e.rt.LoadVerts(p)
+		lds.End()
 		if err != nil {
 			edgeScan.Close()
 			return err
 		}
+		gs := itSpan.Child("gather").SetPart(p)
 		newly, applied, err := e.gather(v, e.rt.UpdateFile(iterIn(iter), p), uint32(iter))
+		gs.Attr("applied", applied).End()
 		if err != nil {
 			edgeScan.Close()
 			return err
 		}
+		e.ctr.UpdatesApplied.Add(applied)
+		e.ctr.Visited.Add(int64(newly))
 		st.frontier = newly
 		e.visited += newly
 		itRow.NewlyVisited += newly
@@ -336,7 +373,9 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 			}
 			st.pendingTiming = stayTiming
 		}
+		ss := itSpan.Child("scatter").SetPart(p)
 		scanned, stayed, err := e.scatter(v, edgeScan, uint32(iter), sh, stay)
+		ss.Attr("edges", scanned).Attr("stayed", stayed).End()
 		if err != nil {
 			if stay != nil {
 				stay.Close()
@@ -352,6 +391,8 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 			st.pending = stay
 			itRow.StayEdges += stayed
 			e.trimmed += scanned - stayed
+			e.ctr.StayEdges.Add(stayed)
+			e.ctr.StayBytes.Add(stayed * graph.EdgeBytes)
 		}
 	} else {
 		// The speculative input open is abandoned; Close cancels its
@@ -360,13 +401,17 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 		if iter > 0 {
 			itRow.SkippedPartitions++
 			e.skipped++
+			e.ctr.Skipped.Add(1)
 		}
 	}
 
 	// Save vertex state when it changed (gather applied something or
 	// this is the initializing iteration).
 	if iter == 0 || st.frontier > 0 || e.opts.DisableSelectiveScheduling {
-		if err := e.rt.SaveVerts(p, v); err != nil {
+		svs := itSpan.Child("load").SetPart(p)
+		err := e.rt.SaveVerts(p, v)
+		svs.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -409,6 +454,7 @@ func (e *engine) resolveInput(p int, itRow *metrics.Iteration) (string, stream.T
 		f.Discard()
 		e.cancellations++
 		itRow.Cancelled++
+		e.ctr.Cancellations.Add(1)
 		return st.input, st.inputTiming
 	}
 	if st.input != f.Name() {
@@ -469,6 +515,7 @@ func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter 
 			break
 		}
 		scanned++
+		e.ctr.Edges.Add(1)
 		i := int(edge.Src - v.Lo)
 		if i < 0 || i >= len(v.Level) {
 			return scanned, stayed, fmt.Errorf("fastbfs: edge %v outside partition [%d,%d)", edge, v.Lo, int(v.Lo)+len(v.Level))
@@ -478,6 +525,7 @@ func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter 
 				return scanned, stayed, err
 			}
 			emitted++
+			e.ctr.UpdatesEmitted.Add(1)
 		}
 		if stay != nil && v.Level[i] == xstream.NoLevel {
 			if err := stay.Append(edge); err != nil {

@@ -36,6 +36,7 @@ import (
 	"fastbfs/internal/disksim"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
+	"fastbfs/internal/obs"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/stream"
 	"fastbfs/internal/xstream"
@@ -112,6 +113,9 @@ type engine struct {
 	rt *xstream.Runtime
 	rv storage.RangeVolume
 
+	tr  *obs.Tracer
+	ctr obs.EngineCounters
+
 	// windows[q][p] is the byte offset in shard q of the first record
 	// whose source is in interval p; windows[q][P] is the shard size.
 	windows [][]int64
@@ -123,10 +127,15 @@ func (e *engine) shardFile(q int) string {
 
 func (e *engine) run() (*xstream.Result, error) {
 	run := metrics.Run{Engine: EngineName}
+	e.tr = e.rt.Tracer()
+	e.ctr = obs.NewEngineCounters(e.tr)
+	runSpan := e.tr.Span("run").Attr("partitions", int64(e.rt.Parts.P()))
 
+	pps := runSpan.Child("preprocess")
 	if err := e.preprocess(); err != nil {
 		return nil, err
 	}
+	pps.Attr("edges", int64(e.rt.Meta.Edges)).End()
 	var preprocIOWait float64
 	if e.rt.Clock != nil {
 		run.PreprocTime = e.rt.Clock.Now()
@@ -134,10 +143,13 @@ func (e *engine) run() (*xstream.Result, error) {
 	}
 
 	// Initialize vertex state and the root.
+	ini := runSpan.Child("load")
 	P := e.rt.Parts.P()
 	for p := 0; p < P; p++ {
 		v := e.rt.InitVerts(p)
-		e.rt.MarkRoot(v)
+		if e.rt.MarkRoot(v) {
+			e.ctr.Visited.Add(1)
+		}
 		if err := e.rt.SaveVerts(p, v); err != nil {
 			return nil, err
 		}
@@ -146,6 +158,7 @@ func (e *engine) run() (*xstream.Result, error) {
 	if err := e.seedRoot(); err != nil {
 		return nil, err
 	}
+	ini.End()
 
 	maxIter := e.rt.Opts.MaxIterations
 	if maxIter <= 0 {
@@ -153,10 +166,12 @@ func (e *engine) run() (*xstream.Result, error) {
 	}
 	var visited uint64
 	for pass := 0; pass < maxIter; pass++ {
+		itSpan := runSpan.Child("iteration").SetIter(pass)
+		e.ctr.Iteration.Set(int64(pass))
 		itRow := metrics.Iteration{Index: pass}
 		changed := false
 		for p := 0; p < P; p++ {
-			ch, scanned, newly, err := e.executeInterval(p)
+			ch, scanned, newly, err := e.executeInterval(p, itSpan)
 			if err != nil {
 				return nil, err
 			}
@@ -166,10 +181,19 @@ func (e *engine) run() (*xstream.Result, error) {
 		}
 		itRow.Frontier = itRow.NewlyVisited
 		run.Iterations = append(run.Iterations, itRow)
+		e.ctr.Frontier.Set(int64(itRow.Frontier))
+		e.ctr.BytesRead.Set(e.rt.BytesRead)
+		e.ctr.BytesWritten.Set(e.rt.BytesWritten)
+		itSpan.Attr("frontier", int64(itRow.Frontier)).
+			Attr("new", int64(itRow.NewlyVisited)).
+			Attr("edges", itRow.EdgesStreamed).End()
+		e.tr.EmitCounters()
 		if !changed {
 			break
 		}
 	}
+	runSpan.End()
+	e.tr.EmitCounters()
 
 	res, err := e.rt.CollectResult()
 	if err != nil {
@@ -314,11 +338,12 @@ func (e *engine) seedRoot() error {
 // executeInterval runs one PSW step: load the memory shard and the
 // sliding windows, apply the vertex update function over the interval,
 // and write back modified data.
-func (e *engine) executeInterval(p int) (changed bool, scanned int64, newly uint64, err error) {
+func (e *engine) executeInterval(p int, itSpan *obs.Span) (changed bool, scanned int64, newly uint64, err error) {
 	rt := e.rt
 	tm := rt.MainTiming()
 	P := rt.Parts.P()
 
+	lds := itSpan.Child("load").SetPart(p)
 	verts, err := rt.LoadVerts(p)
 	if err != nil {
 		return false, 0, 0, err
@@ -335,6 +360,8 @@ func (e *engine) executeInterval(p int) (changed bool, scanned int64, newly uint
 	rt.BytesRead += int64(len(memData))
 	nMem := len(memData) / shardRecBytes
 	scanned += int64(nMem)
+	e.ctr.Edges.Add(int64(nMem))
+	lds.End()
 
 	// Group in-edges by destination.
 	inEdges := make(map[graph.VertexID][]int, nMem) // dst -> record indices
@@ -346,6 +373,7 @@ func (e *engine) executeInterval(p int) (changed bool, scanned int64, newly uint
 	// Vertex update functions, in id order; asynchronous within the
 	// interval: improved levels are pushed onto in-memory out-edges
 	// (records of the memory shard whose source is in p).
+	ups := itSpan.Child("update").SetPart(p)
 	lo, hi := rt.Parts.Interval(p)
 	memChanged := false
 	var memOutIdx map[graph.VertexID][]int // src-in-p -> record indices
@@ -388,10 +416,13 @@ func (e *engine) executeInterval(p int) (changed bool, scanned int64, newly uint
 			}
 		}
 	}
+	e.ctr.Visited.Add(int64(newly))
+	ups.End()
 
 	// Sliding windows: push updated levels onto out-edges living in the
 	// other shards. GraphChi reads every window each step — that is the
 	// repeated edge reading the FastBFS paper calls out.
+	wns := itSpan.Child("windows").SetPart(p)
 	for q := 0; q < P; q++ {
 		if q == p {
 			continue
@@ -410,6 +441,7 @@ func (e *engine) executeInterval(p int) (changed bool, scanned int64, newly uint
 		rt.BytesRead += end - off
 		n := len(data) / shardRecBytes
 		scanned += int64(n)
+		e.ctr.Edges.Add(int64(n))
 		winChanged := false
 		for i := 0; i < n; i++ {
 			r := getShardRec(data[i*shardRecBytes:])
@@ -431,8 +463,10 @@ func (e *engine) executeInterval(p int) (changed bool, scanned int64, newly uint
 			rt.BytesWritten += end - off
 		}
 	}
+	wns.End()
 
 	// Write back the memory shard if its values changed.
+	svs := itSpan.Child("load").SetPart(p)
 	if memChanged {
 		if err := e.rv.Patch(e.shardFile(p), 0, memData); err != nil {
 			return changed, scanned, newly, err
@@ -445,5 +479,6 @@ func (e *engine) executeInterval(p int) (changed bool, scanned int64, newly uint
 	if err := rt.SaveVerts(p, verts); err != nil {
 		return changed, scanned, newly, err
 	}
+	svs.End()
 	return changed, scanned, newly, nil
 }

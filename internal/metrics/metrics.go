@@ -110,8 +110,12 @@ func (r *Run) EdgesStreamed() int64 {
 
 // String renders a compact single-line summary.
 func (r *Run) String() string {
-	return fmt.Sprintf("%s on %s: time=%.3fs iowait=%.0f%% read=%.3fGB written=%.3fGB iters=%d visited=%d",
+	s := fmt.Sprintf("%s on %s: time=%.3fs iowait=%.0f%% read=%.3fGB written=%.3fGB iters=%d visited=%d",
 		r.Engine, r.Graph, r.ExecTime, 100*r.IOWaitRatio(), GB(r.BytesRead), GB(r.BytesWritten), len(r.Iterations), r.Visited)
+	if r.StayBufferWaits > 0 {
+		s += fmt.Sprintf(" staywaits=%d", r.StayBufferWaits)
+	}
+	return s
 }
 
 // Report renders a multi-line human-readable report including the
@@ -137,6 +141,9 @@ func (r *Run) Report() string {
 	}
 	if r.TrimmedEdges > 0 {
 		fmt.Fprintf(&b, "trimmed edges: %d\n", r.TrimmedEdges)
+	}
+	if r.StayBufferWaits > 0 {
+		fmt.Fprintf(&b, "stay-buf waits: %d\n", r.StayBufferWaits)
 	}
 	for _, d := range r.Devices {
 		fmt.Fprintf(&b, "device %-6s read=%.4fGB written=%.4fGB busy=%.4fs ops=%d\n",

@@ -7,18 +7,19 @@ import (
 
 func sample() *Run {
 	return &Run{
-		Engine:        "fastbfs",
-		Graph:         "rmat22",
-		ExecTime:      2.0,
-		PreprocTime:   0.5,
-		IOWait:        1.5,
-		ComputeTime:   0.5,
-		BytesRead:     3_000_000_000,
-		BytesWritten:  1_000_000_000,
-		Visited:       1234,
-		Cancellations: 2,
-		Skipped:       3,
-		TrimmedEdges:  99,
+		Engine:          "fastbfs",
+		Graph:           "rmat22",
+		ExecTime:        2.0,
+		PreprocTime:     0.5,
+		IOWait:          1.5,
+		ComputeTime:     0.5,
+		BytesRead:       3_000_000_000,
+		BytesWritten:    1_000_000_000,
+		Visited:         1234,
+		Cancellations:   2,
+		Skipped:         3,
+		TrimmedEdges:    99,
+		StayBufferWaits: 7,
 		Devices: []DeviceStats{
 			{Name: "hdd0", BytesRead: 3_000_000_000, BytesWritten: 1_000_000_000, BusyTime: 1.4, Ops: 10},
 		},
@@ -63,7 +64,7 @@ func TestLevelsAndEdgesStreamed(t *testing.T) {
 
 func TestStringSummary(t *testing.T) {
 	s := sample().String()
-	for _, want := range []string{"fastbfs", "rmat22", "time=2.000s", "iowait=75%", "visited=1234"} {
+	for _, want := range []string{"fastbfs", "rmat22", "time=2.000s", "iowait=75%", "visited=1234", "staywaits=7"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing %q: %s", want, s)
 		}
@@ -80,6 +81,7 @@ func TestReportContainsEverything(t *testing.T) {
 		"cancellations: 2",
 		"skipped parts: 3",
 		"trimmed edges: 99",
+		"stay-buf waits: 7",
 		"device hdd0",
 		"iter  frontier",
 	} {
@@ -96,7 +98,7 @@ func TestReportContainsEverything(t *testing.T) {
 func TestReportOmitsZeroSections(t *testing.T) {
 	r := &Run{Engine: "xstream", Graph: "g", ExecTime: 1}
 	rep := r.Report()
-	for _, absent := range []string{"cancellations", "skipped parts", "trimmed edges", "preprocess"} {
+	for _, absent := range []string{"cancellations", "skipped parts", "trimmed edges", "preprocess", "stay-buf waits", "staywaits"} {
 		if strings.Contains(rep, absent) {
 			t.Errorf("Report shows zero-valued section %q", absent)
 		}

@@ -1,0 +1,84 @@
+package obs
+
+import "sort"
+
+// IterPhases is the phase breakdown of one BFS iteration (Iter == -1
+// collects setup work: preprocessing, the initial edge-file load).
+type IterPhases struct {
+	Iter  int
+	Phase map[string]float64 // leaf-span seconds by phase name
+	Total float64            // sum over Phase
+	Attrs map[string]int64   // attributes of the "iteration" span, if any
+}
+
+// Summary is an offline digest of a trace: per-iteration phase times,
+// per-phase totals, the final counter snapshot, and run labels.
+//
+// Phase times are computed from *leaf* spans only — a span whose ID
+// never appears as another span's Parent. Container spans ("run",
+// "iteration") cover their children and would double-count; leaves
+// partition the engine's timeline, so their durations sum to the run's
+// execution time (within the slivers of untraced bookkeeping).
+type Summary struct {
+	Labels     map[string]string
+	Phases     []string // leaf phase names in first-appearance order
+	Iters      []IterPhases
+	PhaseTotal map[string]float64
+	LeafTotal  float64
+	Counters   map[string]int64 // last counter snapshot in the trace
+}
+
+// Summarize digests a trace's events.
+func Summarize(events []Event) *Summary {
+	isParent := make(map[int64]bool)
+	for _, e := range events {
+		if e.Kind == KindSpan && e.Parent != 0 {
+			isParent[e.Parent] = true
+		}
+	}
+	s := &Summary{
+		Labels:     make(map[string]string),
+		PhaseTotal: make(map[string]float64),
+	}
+	iters := make(map[int]*IterPhases)
+	iterAt := func(i int) *IterPhases {
+		ip := iters[i]
+		if ip == nil {
+			ip = &IterPhases{Iter: i, Phase: make(map[string]float64)}
+			iters[i] = ip
+		}
+		return ip
+	}
+	seen := make(map[string]bool)
+	for _, e := range events {
+		switch e.Kind {
+		case KindNote:
+			for k, v := range e.Labels {
+				s.Labels[k] = v
+			}
+		case KindCounters:
+			s.Counters = e.Counters
+		case KindSpan:
+			if e.Name == "iteration" && len(e.Attrs) > 0 {
+				iterAt(e.Iter).Attrs = e.Attrs
+			}
+			if isParent[e.ID] {
+				continue
+			}
+			ip := iterAt(e.Iter)
+			ip.Phase[e.Name] += e.Dur
+			ip.Total += e.Dur
+			s.PhaseTotal[e.Name] += e.Dur
+			s.LeafTotal += e.Dur
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				s.Phases = append(s.Phases, e.Name)
+			}
+		}
+	}
+	for _, ip := range iters {
+		s.Iters = append(s.Iters, *ip)
+	}
+	sort.Slice(s.Iters, func(i, j int) bool { return s.Iters[i].Iter < s.Iters[j].Iter })
+	return s
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "testing"
+
+// trace builds a synthetic two-iteration trace through the real Tracer
+// so IDs and parents are consistent.
+func trace() []Event {
+	col := &Collect{}
+	tr := New(col)
+	tick := 0.0
+	tr.SetTimeSource(func() float64 { tick += 0.5; return tick })
+
+	tr.Note("run", map[string]string{"engine": "fastbfs"})
+	run := tr.Span("run")
+	run.Child("load").End() // setup load, iter -1
+	for iter := 0; iter < 2; iter++ {
+		it := run.Child("iteration").SetIter(iter)
+		it.Child("load").SetPart(0).End()
+		it.Child("scatter").SetPart(0).End()
+		it.Child("shuffle").End()
+		it.Attr("frontier", int64(10*(iter+1))).End()
+	}
+	run.End()
+	tr.Counter("edges_streamed").Set(123)
+	tr.EmitCounters()
+	return col.Events()
+}
+
+func TestSummarizeLeafPhases(t *testing.T) {
+	s := Summarize(trace())
+
+	// "run" and "iteration" are containers; only load/scatter/shuffle
+	// are leaves.
+	for _, ph := range s.Phases {
+		if ph == "run" || ph == "iteration" {
+			t.Errorf("container span %q counted as a phase", ph)
+		}
+	}
+	if len(s.Phases) != 3 {
+		t.Fatalf("phases = %v, want load/scatter/shuffle", s.Phases)
+	}
+	// First-appearance order: setup load came first.
+	if s.Phases[0] != "load" {
+		t.Errorf("first phase = %q, want load", s.Phases[0])
+	}
+
+	// Iterations sorted with setup (-1) first.
+	if len(s.Iters) != 3 {
+		t.Fatalf("got %d iteration rows, want 3 (setup + 2)", len(s.Iters))
+	}
+	if s.Iters[0].Iter != -1 || s.Iters[1].Iter != 0 || s.Iters[2].Iter != 1 {
+		t.Errorf("iteration order wrong: %d, %d, %d", s.Iters[0].Iter, s.Iters[1].Iter, s.Iters[2].Iter)
+	}
+	// Each span is one 0.5s tick wide (start and end each advance 0.5).
+	if s.Iters[0].Phase["load"] != 0.5 {
+		t.Errorf("setup load = %v, want 0.5", s.Iters[0].Phase["load"])
+	}
+	for _, ip := range s.Iters[1:] {
+		if ip.Total != 1.5 {
+			t.Errorf("iter %d total = %v, want 1.5 (3 leaf spans)", ip.Iter, ip.Total)
+		}
+	}
+	// LeafTotal is the sum over all leaves; PhaseTotal splits it.
+	if s.LeafTotal != 3.5 {
+		t.Errorf("LeafTotal = %v, want 3.5", s.LeafTotal)
+	}
+	var phSum float64
+	for _, v := range s.PhaseTotal {
+		phSum += v
+	}
+	if phSum != s.LeafTotal {
+		t.Errorf("PhaseTotal sum %v != LeafTotal %v", phSum, s.LeafTotal)
+	}
+
+	// Iteration-span attrs surface on the per-iteration rows.
+	if s.Iters[1].Attrs["frontier"] != 10 || s.Iters[2].Attrs["frontier"] != 20 {
+		t.Errorf("iteration attrs missing: %v, %v", s.Iters[1].Attrs, s.Iters[2].Attrs)
+	}
+
+	if s.Labels["engine"] != "fastbfs" {
+		t.Errorf("labels = %v", s.Labels)
+	}
+	if s.Counters["edges_streamed"] != 123 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if len(s.Iters) != 0 || s.LeafTotal != 0 {
+		t.Errorf("empty trace produced %+v", s)
+	}
+}

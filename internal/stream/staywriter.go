@@ -8,6 +8,7 @@ import (
 
 	"fastbfs/internal/disksim"
 	"fastbfs/internal/graph"
+	"fastbfs/internal/obs"
 	"fastbfs/internal/storage"
 )
 
@@ -46,6 +47,10 @@ type StayWriter struct {
 	// bufferWaits counts the times the engine stalled because all
 	// private buffers were in flight.
 	bufferWaits int64
+
+	// WaitCounter, when non-nil, mirrors bufferWaits into a live
+	// observability counter (engine-thread only, like flushAsync).
+	WaitCounter *obs.Counter
 }
 
 type stayOp int
@@ -198,6 +203,7 @@ func (f *StayFile) flushAsync() {
 		// consumed out" the engine must wait for one to free up.
 		if len(sw.inflight) >= sw.bufCount {
 			sw.bufferWaits++
+			sw.WaitCounter.Add(1)
 			c.WaitUntil(c.BgCompletion(sw.inflight[0]))
 			sw.inflight = sw.inflight[1:]
 		}

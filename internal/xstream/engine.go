@@ -5,6 +5,7 @@ import (
 
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
+	"fastbfs/internal/obs"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/stream"
 )
@@ -45,9 +46,14 @@ func Run(vol storage.Volume, graphName string, opts Options) (*Result, error) {
 
 func runStreaming(rt *Runtime) (*Result, error) {
 	run := metrics.Run{Engine: EngineName}
+	tr := rt.Tracer()
+	ctr := obs.NewEngineCounters(tr)
+	runSpan := tr.Span("run").Attr("partitions", int64(rt.Parts.P()))
+	prep := runSpan.Child("load")
 	if _, err := rt.Prepare(); err != nil {
 		return nil, err
 	}
+	prep.Attr("edges", int64(rt.Meta.Edges)).End()
 
 	maxIter := rt.Opts.MaxIterations
 	if maxIter <= 0 {
@@ -58,6 +64,8 @@ func runStreaming(rt *Runtime) (*Result, error) {
 	var visited uint64
 
 	for iter := 0; iter < maxIter; iter++ {
+		itSpan := runSpan.Child("iteration").SetIter(iter)
+		ctr.Iteration.Set(int64(iter))
 		sh, err := stream.NewShuffler(rt.Vol, rt.Parts, rt.AuxTiming(), rt.Opts.StreamBufSize,
 			func(p int) string { return rt.UpdateFile(out, p) })
 		if err != nil {
@@ -71,6 +79,7 @@ func runStreaming(rt *Runtime) (*Result, error) {
 			// read-ahead overlaps the update streaming (the prototype's
 			// "several stream buffers for reading edges and writing
 			// updates", §III).
+			lds := itSpan.Child("load").SetPart(p)
 			edgeScan, err := openEdgeScanner(rt, rt.EdgeFile(p))
 			if err != nil {
 				sh.Abort()
@@ -82,33 +91,44 @@ func runStreaming(rt *Runtime) (*Result, error) {
 				if rt.MarkRoot(v) {
 					itRow.NewlyVisited++
 					visited++
+					ctr.Visited.Add(1)
 				}
+				lds.End()
 			} else {
 				v, err = rt.LoadVerts(p)
+				lds.End()
 				if err != nil {
 					edgeScan.Close()
 					sh.Abort()
 					return nil, err
 				}
+				gs := itSpan.Child("gather").SetPart(p)
 				newly, applied, err := gather(rt, v, rt.UpdateFile(in, p), uint32(iter))
+				gs.Attr("applied", applied).End()
 				if err != nil {
 					edgeScan.Close()
 					sh.Abort()
 					return nil, err
 				}
+				ctr.UpdatesApplied.Add(applied)
+				ctr.Visited.Add(int64(newly))
 				itRow.NewlyVisited += newly
 				itRow.Updates += applied // updates applied this iteration were generated last iteration
 				visited += newly
 			}
 			// X-Stream scatters every partition unconditionally.
-			scanned, emitted, err := scatter(rt, v, edgeScan, uint32(iter), sh)
+			ss := itSpan.Child("scatter").SetPart(p)
+			scanned, emitted, err := scatter(rt, v, edgeScan, uint32(iter), sh, ctr)
+			ss.Attr("edges", scanned).Attr("emitted", emitted).End()
 			if err != nil {
 				sh.Abort()
 				return nil, err
 			}
 			itRow.EdgesStreamed += scanned
-			_ = emitted
-			if err := rt.SaveVerts(p, v); err != nil {
+			svs := itSpan.Child("load").SetPart(p)
+			err = rt.SaveVerts(p, v)
+			svs.End()
+			if err != nil {
 				sh.Abort()
 				return nil, err
 			}
@@ -121,14 +141,23 @@ func runStreaming(rt *Runtime) (*Result, error) {
 		for _, c := range sh.Counts() {
 			emittedTotal += c
 		}
+		shs := itSpan.Child("shuffle")
 		if err := sh.Close(); err != nil {
 			return nil, err
 		}
+		shs.Attr("updates", emittedTotal).End()
 		rt.BytesWritten += shufflerBytes(sh)
 		for p, op := range sh.LastOps() {
 			rt.RegisterReady(rt.UpdateFile(out, p), op)
 		}
 		run.Iterations = append(run.Iterations, itRow)
+		ctr.Frontier.Set(int64(itRow.Frontier))
+		ctr.BytesRead.Set(rt.BytesRead)
+		ctr.BytesWritten.Set(rt.BytesWritten)
+		itSpan.Attr("frontier", int64(itRow.Frontier)).
+			Attr("new", int64(itRow.NewlyVisited)).
+			Attr("edges", itRow.EdgesStreamed).End()
+		tr.EmitCounters()
 
 		// Delete the consumed update set and switch roles.
 		if iter > 0 {
@@ -142,6 +171,8 @@ func runStreaming(rt *Runtime) (*Result, error) {
 			break
 		}
 	}
+	runSpan.Attr("visited", int64(visited)).End()
+	tr.EmitCounters()
 
 	res, err := rt.CollectResult()
 	if err != nil {
@@ -211,7 +242,7 @@ func openEdgeScanner(rt *Runtime, name string) (*stream.Scanner[graph.Edge], err
 
 // scatter streams a partition's edge input; edges whose source is in the
 // current frontier (level == iter) emit an update to the destination.
-func scatter(rt *Runtime, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler) (scanned, emitted int64, err error) {
+func scatter(rt *Runtime, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler, ctr obs.EngineCounters) (scanned, emitted int64, err error) {
 	defer sc.Close()
 	for {
 		e, ok, err := sc.Next()
@@ -222,6 +253,7 @@ func scatter(rt *Runtime, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32,
 			break
 		}
 		scanned++
+		ctr.Edges.Add(1)
 		i := int(e.Src - v.Lo)
 		if i < 0 || i >= len(v.Level) {
 			return scanned, emitted, fmt.Errorf("xstream: edge %v outside partition [%d,%d)", e, v.Lo, int(v.Lo)+len(v.Level))
@@ -231,6 +263,7 @@ func scatter(rt *Runtime, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32,
 				return scanned, emitted, err
 			}
 			emitted++
+			ctr.UpdatesEmitted.Add(1)
 		}
 	}
 	rt.BytesRead += sc.BytesRead()
@@ -246,6 +279,10 @@ func scatter(rt *Runtime, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32,
 // metrics record.
 func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, level []uint32) []graph.Edge) (*Result, error) {
 	run := metrics.Run{Engine: engineName}
+	tr := rt.Tracer()
+	ctr := obs.NewEngineCounters(tr)
+	runSpan := tr.Span("run").Attr("in_memory", 1)
+	lds := runSpan.Child("load")
 
 	// One full sequential load of the dataset.
 	sc, err := stream.NewEdgeScanner(rt.Vol, graph.EdgeFileName(rt.Meta.Name), rt.MainTiming(), rt.Opts.StreamBufSize)
@@ -270,6 +307,8 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 	}
 	rt.BytesRead += sc.BytesRead()
 	sc.Close()
+	ctr.BytesRead.Set(rt.BytesRead)
+	lds.Attr("edges", int64(len(edges))).End()
 
 	level := make([]uint32, rt.Meta.Vertices)
 	parent := make([]graph.VertexID, rt.Meta.Vertices)
@@ -281,6 +320,7 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 	level[rt.Opts.Root] = 0
 	parent[rt.Opts.Root] = rt.Opts.Root
 	visited := uint64(1)
+	ctr.Visited.Add(1)
 
 	maxIter := rt.Opts.MaxIterations
 	if maxIter <= 0 {
@@ -290,7 +330,10 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 		dst, par graph.VertexID
 	}
 	for iter := uint32(0); int(iter) < maxIter; iter++ {
+		itSpan := runSpan.Child("iteration").SetIter(int(iter))
+		ctr.Iteration.Set(int64(iter))
 		itRow := metrics.Iteration{Index: int(iter), Frontier: 0}
+		ss := itSpan.Child("scatter")
 		var updates []upd
 		for _, e := range edges {
 			if level[e.Src] == iter {
@@ -298,7 +341,11 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 			}
 		}
 		itRow.EdgesStreamed = int64(len(edges))
+		ctr.Edges.Add(int64(len(edges)))
+		ctr.UpdatesEmitted.Add(int64(len(updates)))
 		rt.Compute(float64(len(edges))*rt.Costs.ScatterPerEdge + float64(len(updates))*rt.Costs.AppendPerUpdate)
+		ss.Attr("edges", int64(len(edges))).Attr("emitted", int64(len(updates))).End()
+		gs := itSpan.Child("gather")
 		var newly uint64
 		for _, u := range updates {
 			if level[u.dst] == NoLevel {
@@ -308,22 +355,35 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 			}
 		}
 		rt.Compute(float64(len(updates)) * rt.Costs.GatherPerUpdate)
+		gs.Attr("applied", int64(len(updates))).End()
+		ctr.UpdatesApplied.Add(int64(len(updates)))
+		ctr.Visited.Add(int64(newly))
 		visited += newly
 		itRow.Updates = int64(len(updates))
 		itRow.NewlyVisited = newly
 		if trim != nil {
+			ts := itSpan.Child("stay-write")
 			before := len(edges)
 			edges = trim(edges, level)
 			itRow.StayEdges = int64(len(edges))
 			itRow.TrimActive = true
 			run.TrimmedEdges += int64(before - len(edges))
 			rt.Compute(float64(before) * rt.Costs.AppendPerStay)
+			ts.Attr("stay_edges", int64(len(edges))).End()
+			ctr.StayEdges.Add(int64(len(edges)))
 		}
 		run.Iterations = append(run.Iterations, itRow)
+		ctr.Frontier.Set(int64(newly))
+		itSpan.Attr("frontier", int64(itRow.Frontier)).
+			Attr("new", int64(newly)).
+			Attr("edges", itRow.EdgesStreamed).End()
+		tr.EmitCounters()
 		if len(updates) == 0 {
 			break
 		}
 	}
+	runSpan.Attr("visited", int64(visited)).End()
+	tr.EmitCounters()
 
 	res := &Result{Levels: level, Parents: parent, Visited: visited}
 	run.Visited = visited

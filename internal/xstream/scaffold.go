@@ -23,6 +23,7 @@ import (
 	"fastbfs/internal/disksim"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
+	"fastbfs/internal/obs"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/stream"
 )
@@ -114,6 +115,11 @@ type Options struct {
 	// MaxIterations caps the iteration count as a safety net; default
 	// vertices + 1.
 	MaxIterations int
+	// Tracer, when non-nil, receives spans and live counters from the
+	// run (see internal/obs). In sim mode the virtual clock is installed
+	// as its time source, so traces are in simulated seconds. Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // SetDefaults fills unset fields with defaults.
@@ -169,7 +175,17 @@ type Runtime struct {
 	fileReady map[string]*disksim.AsyncOp
 
 	wallStart time.Time
+
+	// countVol is set when the volume is a storage.Counting wrapper; its
+	// delta over the run feeds DeviceStats in wall mode, where there is
+	// no simulated device to report on.
+	countVol *storage.Counting
+	startIO  storage.IOStats
 }
+
+// Tracer returns the run's tracer (nil when tracing is disabled; all
+// obs methods are no-ops on nil).
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.Opts.Tracer }
 
 // RegisterReady records a file's write-behind barrier.
 func (rt *Runtime) RegisterReady(name string, op *disksim.AsyncOp) {
@@ -221,6 +237,13 @@ func NewRuntime(vol storage.Volume, graphName string, opts Options) (*Runtime, e
 		}
 		rt.Clock = disksim.NewClock(opts.Sim.CPU, opts.Threads)
 		rt.Costs = opts.Sim.Costs
+		// Trace in simulated seconds: span timestamps then line up with
+		// the clock-derived ExecTime in the metrics record.
+		opts.Tracer.SetTimeSource(rt.Clock.Now)
+	}
+	if cv, ok := vol.(*storage.Counting); ok {
+		rt.countVol = cv
+		rt.startIO = cv.Stats()
 	}
 	return rt, nil
 }
@@ -282,6 +305,15 @@ func (rt *Runtime) FinishMetrics(run *metrics.Run) {
 		}
 	} else {
 		run.ExecTime = time.Since(rt.wallStart).Seconds()
+		if rt.countVol != nil {
+			// Wall mode has no simulated devices; report the counting
+			// volume's delta over the run instead.
+			d := rt.countVol.Stats().Sub(rt.startIO)
+			run.Devices = append(run.Devices, metrics.DeviceStats{
+				Name: rt.countVol.Name(), BytesRead: d.BytesRead, BytesWritten: d.BytesWritten,
+				Ops: d.ReadOps + d.WriteOps,
+			})
+		}
 	}
 }
 
