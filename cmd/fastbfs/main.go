@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fastbfs -dir DATA -graph rmat20 -root 1 [-engine fastbfs|xstream|graphchi]
-//	        [-mem 1073741824] [-threads 4] [-sim] [-simscale 2048]
+//	        [-mem 1073741824] [-threads 4] [-workers N] [-sim] [-simscale 2048]
 //	        [-twodisks] [-ssd] [-trimstart 0] [-notrim] [-noselsched]
 //	        [-report] [-validate] [-quiet]
 //	        [-tracefile trace.jsonl] [-debugaddr localhost:6060]
@@ -52,6 +52,7 @@ func main() {
 	root := flag.Uint64("root", 0, "BFS root vertex")
 	mem := flag.Uint64("mem", 1<<30, "working memory budget in bytes")
 	threads := flag.Int("threads", 4, "compute threads")
+	workers := flag.Int("workers", 0, "scatter worker goroutines (0 = FASTBFS_WORKERS env or NumCPU; results are identical for any count)")
 	sim := flag.Bool("sim", false, "use the simulated testbed instead of wall-clock time")
 	simScale := flag.Float64("simscale", 1, "scale down the simulated positioning cost by this factor")
 	ssd := flag.Bool("ssd", false, "simulate the SSD instead of the HDD")
@@ -87,10 +88,11 @@ func main() {
 		return
 	}
 	opts := xstream.Options{
-		Root:         graph.VertexID(*root),
-		MemoryBudget: *mem,
-		Threads:      *threads,
-		Tracer:       ob.tracer,
+		Root:           graph.VertexID(*root),
+		MemoryBudget:   *mem,
+		Threads:        *threads,
+		ScatterWorkers: *workers,
+		Tracer:         ob.tracer,
 	}
 	if *sim {
 		cfg := &xstream.SimConfig{CPU: disksim.DefaultCPU(), Costs: disksim.DefaultCosts()}

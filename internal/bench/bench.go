@@ -138,6 +138,7 @@ func Registry() []Experiment {
 		{ID: "abl-grace", Title: "Ablation: cancellation grace period", Run: AblGrace},
 		{ID: "abl-features", Title: "Ablation: trimming / selective scheduling on-off", Run: AblFeatures},
 		{ID: "phases", Title: "Per-iteration phase breakdown (traced FastBFS run)", Run: PhaseBreakdown},
+		{ID: "workers", Title: "Scatter worker-pool sweep (wall clock, Mem volume)", Run: Workers},
 	}
 }
 

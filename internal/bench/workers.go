@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"fastbfs/internal/core"
+	"fastbfs/internal/obs"
+	"fastbfs/internal/storage"
+)
+
+// Workers sweeps the scatter worker-pool size on the wall-clock Mem
+// volume path, where no real disk hides the classification compute and
+// the parallel scatter's wall-time effect is directly visible. Every
+// run must agree on the result — the sharded-shuffler merge makes the
+// output independent of the worker count (DESIGN.md §7) — so the only
+// thing allowed to change down the column is time. Each configuration
+// runs three times and reports the fastest (standard wall-clock
+// benching; the Mem path is fast enough that noise would otherwise
+// swamp small pools).
+func Workers(cfg Config) (*Table, error) {
+	vol := storage.NewMem()
+	ds, err := BuildTuneDataset(vol, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	const reps = 3
+
+	t := &Table{
+		ID:     "workers",
+		Title:  "Scatter worker-pool sweep (FastBFS, Mem volume, wall clock)",
+		Header: []string{"workers", "exec (s)", "scatter (s)", "scatter speedup", "chunks", "busy (ms)", "visited"},
+		PaperNote: "the prototype's multi-threaded streaming (§III) is not swept in the paper; " +
+			"this is the repo's hot-path parallelization check — identical output, falling scatter time",
+	}
+
+	var baseScatter float64
+	var baseVisited uint64
+	for i, w := range counts {
+		best := struct {
+			exec    float64
+			scatter float64
+			chunks  int64
+			busyNs  int64
+			visited uint64
+		}{}
+		cfg.logf("  %s: fastbfs workers=%d (%d reps)", ds.PaperName, w, reps)
+		for r := 0; r < reps; r++ {
+			col := &obs.Collect{}
+			o := baseOpts(ds, nil) // wall mode: Mem volume, real elapsed time
+			o.ScatterWorkers = w
+			o.Tracer = obs.New(col)
+			res, err := core.Run(vol, ds.Meta.Name, core.Options{Base: o})
+			if err != nil {
+				return nil, fmt.Errorf("fastbfs workers=%d on %s: %w", w, ds.Meta.Name, err)
+			}
+			sum := obs.Summarize(col.Events())
+			var scatter float64
+			for _, ip := range sum.Iters {
+				scatter += ip.Phase["scatter"]
+			}
+			if r == 0 {
+				best.visited = res.Visited
+			} else if res.Visited != best.visited {
+				return nil, fmt.Errorf("workers=%d rep %d changed the result: visited %d, want %d", w, r, res.Visited, best.visited)
+			}
+			if r == 0 || scatter < best.scatter {
+				best.scatter = scatter
+				best.exec = res.Metrics.ExecTime
+				best.chunks = sum.Counters[obs.CtrScatterChunks]
+				best.busyNs = sum.Counters[obs.CtrScatterBusyNs]
+			}
+		}
+		if i == 0 {
+			baseScatter = best.scatter
+			baseVisited = best.visited
+		} else if best.visited != baseVisited {
+			return nil, fmt.Errorf("workers=%d changed the result: visited %d, want %d", w, best.visited, baseVisited)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", w),
+			secs(best.exec),
+			secs(best.scatter),
+			ratio(baseScatter, best.scatter),
+			fmt.Sprintf("%d", best.chunks),
+			fmt.Sprintf("%.1f", float64(best.busyNs)/1e6),
+			fmt.Sprintf("%d", best.visited),
+		)
+	}
+	t.AddNote("output is byte-identical across worker counts (see internal/core determinism test); only wall time moves")
+	t.AddNote(fmt.Sprintf("machine has %d CPU(s); pools wider than that cannot speed scatter up", runtime.NumCPU()))
+	return t, nil
+}

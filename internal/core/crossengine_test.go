@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -75,6 +78,95 @@ func TestAllEnginesAgreeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEnginesAgreeAcrossWorkerCounts is the parallel-scatter equivalence
+// property: over ~50 random graphs spanning degree-skew families,
+// disconnected components, self-loops and varied partition counts, all
+// three engines produce BFS levels identical to the in-memory reference
+// at every scatter worker count — the pool must be invisible in results.
+func TestEnginesAgreeAcrossWorkerCounts(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	rng := rand.New(rand.NewSource(42))
+	const numGraphs = 50
+	for g := 0; g < numGraphs; g++ {
+		var (
+			m     graph.Meta
+			edges []graph.Edge
+			err   error
+		)
+		switch g % 3 {
+		case 0: // uniform random, moderate degree
+			m, edges, err = gen.Uniform(30+uint64(rng.Intn(80)), 60+uint64(rng.Intn(200)), rng.Int63())
+		case 1: // RMAT: heavy degree skew
+			m, edges, err = gen.RMAT(5+rng.Intn(3), 4+rng.Intn(6), gen.Graph500(), rng.Int63())
+		default: // uniform core with tendril chains hanging off it
+			m, edges, err = gen.Uniform(20+uint64(rng.Intn(40)), 40+uint64(rng.Intn(100)), rng.Int63())
+			if err == nil {
+				m, edges = gen.AddTendrils(m, edges, 1+rng.Intn(3), 2+rng.Intn(5), m.Undirected, rng.Int63())
+			}
+		}
+		if err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+		// Self-loops: legal edges that never discover anything new.
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			v := graph.VertexID(rng.Intn(int(m.Vertices)))
+			edges = append(edges, graph.Edge{Src: v, Dst: v})
+		}
+		// Isolated vertices: the root may land on one, making (almost)
+		// the whole graph a disconnected component.
+		m.Vertices += uint64(1 + rng.Intn(5))
+		m.Edges = uint64(len(edges))
+		m.Name = fmt.Sprintf("wsweep%02d", g)
+
+		vol := storage.NewMem()
+		if err := graph.Store(vol, m, edges); err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+		root := graph.VertexID(rng.Intn(int(m.Vertices)))
+		ref, err := bfs.Run(m, edges, root)
+		if err != nil {
+			t.Fatalf("graph %d: reference: %v", g, err)
+		}
+		// Small budgets stream with varied partition counts; every fifth
+		// graph gets a budget big enough for the in-memory fast path, so
+		// both pool entry points (RunScanner and RunSlice) are swept.
+		budget := uint64(512 + rng.Intn(3584))
+		if g%5 == 4 {
+			budget = 1 << 20
+		}
+		partitions := 1 + rng.Intn(7)
+		bufSize := 128 + rng.Intn(384)
+
+		for _, w := range workerCounts {
+			base := xstream.Options{
+				Root: root, MemoryBudget: budget, Partitions: partitions,
+				StreamBufSize: bufSize, ScatterWorkers: w, Sim: xstream.DefaultSim(),
+			}
+			check := func(engine string, res *xstream.Result, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("graph %d %s workers=%d: %v", g, engine, w, err)
+				}
+				got := &bfs.Result{Root: root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+				if e := bfs.Equal(ref, got); e != nil {
+					t.Fatalf("graph %d %s workers=%d: %v", g, engine, w, e)
+				}
+				if e := bfs.Validate(m, edges, got); e != nil {
+					t.Fatalf("graph %d %s workers=%d: invalid tree: %v", g, engine, w, e)
+				}
+			}
+			fb, err := Run(vol, m.Name, Options{Base: base})
+			check("fastbfs", fb, err)
+			base.Sim = xstream.DefaultSim()
+			xs, err := xstream.Run(vol, m.Name, base)
+			check("xstream", xs, err)
+			base.Sim = xstream.DefaultSim()
+			gc, err := graphchi.Run(vol, m.Name, base)
+			check("graphchi", gc, err)
+		}
 	}
 }
 

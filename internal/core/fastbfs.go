@@ -142,6 +142,7 @@ type engine struct {
 	rt    *xstream.Runtime
 	opts  Options
 	sw    *stream.StayWriter
+	pool  *stream.ScatterPool
 	parts []partState
 
 	tr  *obs.Tracer
@@ -182,6 +183,7 @@ func (e *engine) run() (*Result, error) {
 	run := metrics.Run{Engine: EngineName}
 	e.tr = e.rt.Tracer()
 	e.ctr = obs.NewEngineCounters(e.tr)
+	e.pool = e.rt.NewScatterPool(e.ctr)
 	runSpan := e.tr.Span("run").Attr("partitions", int64(e.rt.Parts.P()))
 	prep := runSpan.Child("load")
 	if _, err := e.rt.Prepare(); err != nil {
@@ -500,43 +502,64 @@ func (e *engine) gather(v *xstream.Verts, updFile string, level uint32) (newly u
 	return newly, applied, nil
 }
 
-// scatter streams the edge input: frontier sources emit updates; when
-// stay is non-nil, edges with unvisited sources are appended to it (the
-// trim rule — a visited source can never produce a future update).
+// scatter streams the edge input through the worker pool: frontier
+// sources emit updates; when stay is non-nil, edges with unvisited
+// sources are appended to it (the trim rule — a visited source can
+// never produce a future update). Workers only classify; the shuffler
+// and the stay file (whose buffer hand-offs interact with the virtual
+// clock) stay on the engine thread, fed in chunk order, so file bytes
+// and timing are identical for any worker count.
 func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler, stay *stream.StayFile) (scanned, stayed int64, err error) {
 	defer sc.Close()
 	var emitted int64
-	for {
-		edge, ok, err := sc.Next()
-		if err != nil {
-			return scanned, stayed, err
-		}
-		if !ok {
-			break
-		}
-		scanned++
-		e.ctr.Edges.Add(1)
-		i := int(edge.Src - v.Lo)
-		if i < 0 || i >= len(v.Level) {
-			return scanned, stayed, fmt.Errorf("fastbfs: edge %v outside partition [%d,%d)", edge, v.Lo, int(v.Lo)+len(v.Level))
-		}
-		if v.Level[i] == iter {
-			if err := sh.Append(graph.Update{Dst: edge.Dst, Parent: edge.Src}); err != nil {
-				return scanned, stayed, err
+	lo, n := v.Lo, len(v.Level)
+	trim := stay != nil
+	classify := func(edges []graph.Edge, out *stream.Shard) {
+		for _, edge := range edges {
+			out.Scanned++
+			i := int(edge.Src - lo)
+			if i < 0 || i >= n {
+				out.Err = fmt.Errorf("fastbfs: edge %v outside partition [%d,%d)", edge, lo, int(lo)+n)
+				return
 			}
-			emitted++
-			e.ctr.UpdatesEmitted.Add(1)
+			if v.Level[i] == iter {
+				p := e.rt.Parts.Of(edge.Dst)
+				out.ByPart[p] = append(out.ByPart[p], graph.Update{Dst: edge.Dst, Parent: edge.Src})
+				out.Emitted++
+			}
+			if trim && v.Level[i] == xstream.NoLevel {
+				out.Stays = append(out.Stays, edge)
+				out.Stayed++
+			}
 		}
-		if stay != nil && v.Level[i] == xstream.NoLevel {
+	}
+	merge := func(s *stream.Shard) error {
+		scanned += s.Scanned
+		emitted += s.Emitted
+		stayed += s.Stayed
+		e.ctr.Edges.Add(s.Scanned)
+		e.ctr.UpdatesEmitted.Add(s.Emitted)
+		for p, us := range s.ByPart {
+			if len(us) == 0 {
+				continue
+			}
+			if err := sh.AppendTo(p, us); err != nil {
+				return err
+			}
+		}
+		for _, edge := range s.Stays {
 			if err := stay.Append(edge); err != nil {
-				return scanned, stayed, err
+				return err
 			}
-			stayed++
 		}
+		return nil
+	}
+	if err := e.pool.RunScanner(sc, classify, merge); err != nil {
+		return scanned, stayed, err
 	}
 	e.rt.BytesRead += sc.BytesRead()
 	work := float64(scanned)*e.rt.Costs.ScatterPerEdge + float64(emitted)*e.rt.Costs.AppendPerUpdate
-	if stay != nil {
+	if trim {
 		work += float64(stayed) * e.rt.Costs.AppendPerStay
 	}
 	e.rt.Compute(work)
@@ -561,10 +584,14 @@ func (e *engine) trimActive(iter int) bool {
 }
 
 // drainPending resolves stay files still owned by the writer when the
-// run ends (their partitions never scattered again).
+// run ends (their partitions never scattered again). It waits for each
+// background write to settle before discarding, so whether the file was
+// published (and then removed) never races with the writer goroutine —
+// keeping end-of-run volume contents deterministic.
 func (e *engine) drainPending() {
 	for p := range e.parts {
 		if f := e.parts[p].pending; f != nil {
+			f.Use()
 			f.Discard()
 			e.parts[p].pending = nil
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -102,6 +103,82 @@ func TestRunSurfacesPrepareFailure(t *testing.T) {
 		if f != graph.EdgeFileName(m.Name) && f != graph.ConfFileName(m.Name) {
 			t.Errorf("leftover file %s after failed run", f)
 		}
+	}
+}
+
+func TestParallelScatterFaultAbortsCleanly(t *testing.T) {
+	// An update-stream write failing mid-scatter with many workers in
+	// flight must surface exactly one error from Run (the injected one,
+	// not a panic or a secondary error masking it), abort every shard,
+	// and leak no goroutines — the pool joins its workers even on the
+	// error path, and the stay writer shuts down behind it.
+	warm, wm := storedGraph(t)
+	if _, err := Run(warm, wm.Name, Options{Base: xstream.Options{
+		MemoryBudget: 4096, StreamBufSize: 256, ScatterWorkers: 8, Sim: xstream.DefaultSim(),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	boom := errors.New("update disk full mid-scatter")
+	for i := 0; i < 10; i++ {
+		vol, m := storedGraph(t)
+		vol.FailWrites(func(name string, written int64) error {
+			// Fail partway into an update stream, once several chunks of
+			// shards are already merged and more are in flight.
+			if strings.Contains(name, "_upd") && written >= 512 {
+				return boom
+			}
+			return nil
+		})
+		_, err := Run(vol, m.Name, Options{Base: xstream.Options{
+			MemoryBudget: 4096, StreamBufSize: 256, ScatterWorkers: 8, Sim: xstream.DefaultSim(),
+		}})
+		if !errors.Is(err, boom) {
+			t.Fatalf("run %d: err = %v, want the injected fault", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d across 10 aborted parallel runs", before, after)
+	}
+}
+
+func TestParallelScatterSurvivesStayFaults(t *testing.T) {
+	// Stay-write failures with multiple scatter workers: still not fatal
+	// (the shard merge feeds the stay file on the engine thread; its
+	// failure downgrades to a cancellation exactly as in serial mode).
+	vol, m := storedGraph(t)
+	boom := errors.New("stay disk full")
+	vol.FailWrites(func(name string, written int64) error {
+		if strings.Contains(name, "_stay") {
+			return boom
+		}
+		return nil
+	})
+	opts := Options{Base: xstream.Options{
+		MemoryBudget: 4096, StreamBufSize: 256, ScatterWorkers: 8, Sim: xstream.DefaultSim(),
+	}}
+	res, err := Run(vol, m.Name, opts)
+	if err != nil {
+		t.Fatalf("stay-write failure killed the parallel run: %v", err)
+	}
+	vol2, _ := storedGraph(t)
+	want, err := Run(vol2, m.Name, Options{Base: xstream.Options{
+		MemoryBudget: 4096, StreamBufSize: 256, ScatterWorkers: 8, Sim: xstream.DefaultSim(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != want.Visited {
+		t.Fatalf("visited %d after stay failures, want %d", res.Visited, want.Visited)
+	}
+	if res.Metrics.Cancellations == 0 {
+		t.Fatal("failed stay writes should be recorded as cancellations")
 	}
 }
 

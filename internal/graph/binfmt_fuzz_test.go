@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz harnesses for the raw binary formats (§III). The encode side is
+// the inverse of the decode side byte-for-byte — the determinism
+// contract of the parallel scatter path leans on this: update and stay
+// files are compared as bytes, so any decode/encode asymmetry would
+// make "byte-identical" weaker than "record-identical".
+
+func FuzzEdgeBytesRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 0, 0}) // ragged: must be rejected, not mangled
+	f.Fuzz(func(t *testing.T, b []byte) {
+		edges, err := BytesToEdges(b)
+		if len(b)%EdgeBytes != 0 {
+			if err == nil {
+				t.Fatalf("BytesToEdges accepted %d ragged bytes", len(b))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("BytesToEdges rejected %d whole records: %v", len(b)/EdgeBytes, err)
+		}
+		if out := EdgesToBytes(edges); !bytes.Equal(out, b) {
+			t.Fatalf("EdgesToBytes(BytesToEdges(b)) != b for %d bytes", len(b))
+		}
+		// The streaming reader must agree with the slice decoder.
+		streamed, err := ReadEdges(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("ReadEdges: %v", err)
+		}
+		if len(streamed) != len(edges) {
+			t.Fatalf("ReadEdges decoded %d edges, BytesToEdges %d", len(streamed), len(edges))
+		}
+		for i := range streamed {
+			if streamed[i] != edges[i] {
+				t.Fatalf("edge %d: ReadEdges %v vs BytesToEdges %v", i, streamed[i], edges[i])
+			}
+		}
+	})
+}
+
+func FuzzReadEdgesRagged(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, EdgeBytes+1))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		edges, err := ReadEdges(bytes.NewReader(b))
+		if len(b)%EdgeBytes == 0 {
+			if err != nil {
+				t.Fatalf("ReadEdges rejected aligned input: %v", err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("ReadEdges accepted %d trailing bytes", len(b)%EdgeBytes)
+		}
+		// Whole records before the ragged tail still decode.
+		if want := len(b) / EdgeBytes; len(edges) != want {
+			t.Fatalf("decoded %d edges before the error, want %d", len(edges), want)
+		}
+	})
+}
+
+func FuzzUpdateRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(1), uint32(0xFFFFFFFF))
+	f.Add(uint32(0xFFFFFFFF), uint32(7))
+	f.Fuzz(func(t *testing.T, dst, parent uint32) {
+		u := Update{Dst: VertexID(dst), Parent: VertexID(parent)}
+		var b [UpdateBytes]byte
+		PutUpdate(b[:], u)
+		if got := GetUpdate(b[:]); got != u {
+			t.Fatalf("GetUpdate(PutUpdate(%v)) = %v", u, got)
+		}
+	})
+}
+
+func FuzzWEdgeBytesRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0x80, 0x3f}) // 1 -> 2 weight 1.0
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f}) // NaN payload
+	f.Fuzz(func(t *testing.T, b []byte) {
+		wedges, err := BytesToWEdges(b)
+		if len(b)%WEdgeBytes != 0 {
+			if err == nil {
+				t.Fatalf("BytesToWEdges accepted %d ragged bytes", len(b))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("BytesToWEdges rejected %d whole records: %v", len(b)/WEdgeBytes, err)
+		}
+		// Byte-level round trip must hold even for NaN weight payloads:
+		// Put/Get use bit casts, never float arithmetic.
+		if out := WEdgesToBytes(wedges); !bytes.Equal(out, b) {
+			t.Fatalf("WEdgesToBytes(BytesToWEdges(b)) != b for %d bytes", len(b))
+		}
+	})
+}

@@ -449,6 +449,9 @@ const (
 	CtrIteration       = "iteration"
 	CtrBytesRead       = "bytes_read"
 	CtrBytesWritten    = "bytes_written"
+	CtrScatterWorkers  = "scatter_workers"
+	CtrScatterChunks   = "scatter_chunks"
+	CtrScatterBusyNs   = "scatter_busy_ns"
 )
 
 // EngineCounters bundles the standard live counters an engine maintains.
@@ -467,6 +470,9 @@ type EngineCounters struct {
 	Iteration      *Counter // gauge: current iteration index
 	BytesRead      *Counter // gauge: engine bytes read so far
 	BytesWritten   *Counter // gauge: engine bytes written so far
+	ScatterWorkers *Counter // gauge: scatter worker-pool size
+	ScatterChunks  *Counter // edge chunks processed by scatter workers
+	ScatterBusyNs  *Counter // cumulative worker wall-nanoseconds classifying chunks
 }
 
 // NewEngineCounters registers (or re-fetches) the standard counter set.
@@ -485,5 +491,8 @@ func NewEngineCounters(t *Tracer) EngineCounters {
 		Iteration:      t.Counter(CtrIteration),
 		BytesRead:      t.Counter(CtrBytesRead),
 		BytesWritten:   t.Counter(CtrBytesWritten),
+		ScatterWorkers: t.Counter(CtrScatterWorkers),
+		ScatterChunks:  t.Counter(CtrScatterChunks),
+		ScatterBusyNs:  t.Counter(CtrScatterBusyNs),
 	}
 }

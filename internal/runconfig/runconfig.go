@@ -36,6 +36,7 @@ type Config struct {
 	PrefetchBuffers int
 	Partitions      int
 	MaxIterations   int
+	ScatterWorkers  int
 
 	// FastBFS trim policy.
 	TrimStartIteration         int
@@ -118,6 +119,8 @@ func (c *Config) set(key, val string) error {
 		c.Partitions, err = strconv.Atoi(val)
 	case "max_iterations":
 		c.MaxIterations, err = strconv.Atoi(val)
+	case "scatter_workers":
+		c.ScatterWorkers, err = strconv.Atoi(val)
 	case "trim_start_iteration":
 		c.TrimStartIteration, err = strconv.Atoi(val)
 	case "trim_visited_fraction":
@@ -209,6 +212,7 @@ func (c Config) EngineOptions() xstream.Options {
 		PrefetchBuffers: c.PrefetchBuffers,
 		Partitions:      c.Partitions,
 		MaxIterations:   c.MaxIterations,
+		ScatterWorkers:  c.ScatterWorkers,
 	}
 	if !c.Sim {
 		return o

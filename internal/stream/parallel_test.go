@@ -1,0 +1,285 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"fastbfs/internal/graph"
+	"fastbfs/internal/storage"
+)
+
+// collectRun drives a pool over edges and returns the merged output in
+// merge order: the per-chunk update batches flattened, plus the chunk
+// sizes seen, so tests can assert both content and chunking.
+func collectRun(t *testing.T, sp *ScatterPool, edges []graph.Edge, runner func(ScatterFunc, MergeFunc) error) (got []graph.Update, chunkSizes []int) {
+	t.Helper()
+	classify := func(chunk []graph.Edge, out *Shard) {
+		for _, e := range chunk {
+			out.Scanned++
+			out.ByPart[0] = append(out.ByPart[0], graph.Update{Dst: e.Dst, Parent: e.Src})
+		}
+	}
+	merge := func(s *Shard) error {
+		chunkSizes = append(chunkSizes, int(s.Scanned))
+		got = append(got, s.ByPart[0]...)
+		return nil
+	}
+	if err := runner(classify, merge); err != nil {
+		t.Fatal(err)
+	}
+	return got, chunkSizes
+}
+
+func TestScatterPoolSliceMatchesSerialForAnyWorkerCount(t *testing.T) {
+	edges := makeEdges(10_000)
+	want, wantChunks := collectRun(t, NewScatterPool(1, 97, 1), edges,
+		func(fn ScatterFunc, m MergeFunc) error {
+			return NewScatterPool(1, 97, 1).RunSlice(edges, fn, m)
+		})
+	for _, workers := range []int{2, 3, 4, 8, runtime.NumCPU()} {
+		sp := NewScatterPool(workers, 97, 1)
+		got, gotChunks := collectRun(t, sp, edges,
+			func(fn ScatterFunc, m MergeFunc) error { return sp.RunSlice(edges, fn, m) })
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d updates, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: update %d = %v, want %v (merge order broke)", workers, i, got[i], want[i])
+			}
+		}
+		if len(gotChunks) != len(wantChunks) {
+			t.Fatalf("workers=%d: %d chunks, want %d (chunking must not depend on workers)", workers, len(gotChunks), len(wantChunks))
+		}
+	}
+}
+
+func TestScatterPoolScannerMatchesSlice(t *testing.T) {
+	vol := storage.NewMem()
+	edges := makeEdges(4_321)
+	writeEdgesFile(t, vol, "edges", edges)
+	for _, workers := range []int{1, 4} {
+		sp := NewScatterPool(workers, 100, 1)
+		sliceGot, _ := collectRun(t, sp, edges,
+			func(fn ScatterFunc, m MergeFunc) error { return sp.RunSlice(edges, fn, m) })
+		sc, err := NewEdgeScanner(vol, "edges", Timing{}, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanGot, _ := collectRun(t, sp, edges,
+			func(fn ScatterFunc, m MergeFunc) error { return sp.RunScanner(sc, fn, m) })
+		sc.Close()
+		if len(scanGot) != len(sliceGot) {
+			t.Fatalf("workers=%d: scanner path %d updates, slice path %d", workers, len(scanGot), len(sliceGot))
+		}
+		for i := range scanGot {
+			if scanGot[i] != sliceGot[i] {
+				t.Fatalf("workers=%d: update %d differs between scanner and slice paths", workers, i)
+			}
+		}
+	}
+}
+
+func TestScannerNextChunkMatchesNext(t *testing.T) {
+	vol := storage.NewMem()
+	edges := makeEdges(1_000)
+	writeEdgesFile(t, vol, "edges", edges)
+	// Chunk size deliberately misaligned with both the record size and
+	// the scanner buffer, so chunks straddle refill boundaries.
+	for _, chunk := range []int{1, 7, 64, 1_024, 5_000} {
+		sc, err := NewEdgeScanner(vol, "edges", Timing{}, 192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []graph.Edge
+		buf := make([]graph.Edge, chunk)
+		for {
+			n, err := sc.NextChunk(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		sc.Close()
+		if len(got) != len(edges) {
+			t.Fatalf("chunk=%d: read %d edges, want %d", chunk, len(got), len(edges))
+		}
+		for i := range got {
+			if got[i] != edges[i] {
+				t.Fatalf("chunk=%d: edge %d = %v, want %v", chunk, i, got[i], edges[i])
+			}
+		}
+	}
+}
+
+func TestScatterPoolPropagatesClassifyError(t *testing.T) {
+	boom := errors.New("bad edge")
+	edges := makeEdges(5_000)
+	for _, workers := range []int{1, 4} {
+		sp := NewScatterPool(workers, 64, 1)
+		merged := 0
+		err := sp.RunSlice(edges, func(chunk []graph.Edge, out *Shard) {
+			for _, e := range chunk {
+				if e.Src == 1_000 {
+					out.Err = boom
+					return
+				}
+				out.Scanned++
+			}
+		}, func(s *Shard) error {
+			merged++
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want classify error", workers, err)
+		}
+		// Chunks before the failing one (index 1000/64 = 15) must all have
+		// merged: the error surfaces at its chunk's in-order merge point.
+		if merged < 15 {
+			t.Fatalf("workers=%d: only %d chunks merged before the error, want 15", workers, merged)
+		}
+	}
+}
+
+func TestScatterPoolPropagatesMergeError(t *testing.T) {
+	boom := errors.New("writer failed")
+	edges := makeEdges(5_000)
+	for _, workers := range []int{1, 4} {
+		sp := NewScatterPool(workers, 64, 1)
+		merged := 0
+		err := sp.RunSlice(edges, func(chunk []graph.Edge, out *Shard) {}, func(s *Shard) error {
+			merged++
+			if merged == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want merge error", workers, err)
+		}
+		if merged != 3 {
+			t.Fatalf("workers=%d: merge called %d times after its error, want exactly 3", workers, merged)
+		}
+	}
+}
+
+func TestScatterPoolLeaksNoGoroutinesOnError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	edges := makeEdges(100_000)
+	for i := 0; i < 20; i++ {
+		sp := NewScatterPool(8, 128, 1)
+		sp.RunSlice(edges, func(chunk []graph.Edge, out *Shard) {
+			if chunk[0].Src >= 1_000 {
+				out.Err = boom
+			}
+		}, func(s *Shard) error { return nil })
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d: pool run leaked workers", before, after)
+	}
+}
+
+func TestScatterPoolPartitionedShards(t *testing.T) {
+	const parts = 4
+	edges := makeEdges(1_000)
+	sp := NewScatterPool(4, 33, parts)
+	perPart := make([][]graph.Update, parts)
+	err := sp.RunSlice(edges, func(chunk []graph.Edge, out *Shard) {
+		for _, e := range chunk {
+			p := int(e.Dst) % parts
+			out.ByPart[p] = append(out.ByPart[p], graph.Update{Dst: e.Dst, Parent: e.Src})
+		}
+	}, func(s *Shard) error {
+		for p := range s.ByPart {
+			perPart[p] = append(perPart[p], s.ByPart[p]...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each partition stream must be the global scan order filtered to that
+	// partition — the property the sharded-shuffler merge relies on.
+	for p := 0; p < parts; p++ {
+		var want []graph.Update
+		for _, e := range edges {
+			if int(e.Dst)%parts == p {
+				want = append(want, graph.Update{Dst: e.Dst, Parent: e.Src})
+			}
+		}
+		if len(perPart[p]) != len(want) {
+			t.Fatalf("partition %d: %d updates, want %d", p, len(perPart[p]), len(want))
+		}
+		for i := range want {
+			if perPart[p][i] != want[i] {
+				t.Fatalf("partition %d: update %d = %v, want %v", p, i, perPart[p][i], want[i])
+			}
+		}
+	}
+}
+
+func TestShufflerAppendTo(t *testing.T) {
+	vol := storage.NewMem()
+	pt, err := graph.NewPartitioning(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShuffler(vol, pt, Timing{}, 256, func(p int) string { return fmt.Sprintf("upd_%d", p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [4][]graph.Update
+	var batch []graph.Update
+	for i := 0; i < 200; i++ {
+		u := graph.Update{Dst: graph.VertexID(i % 100), Parent: graph.VertexID(i)}
+		p := pt.Of(u.Dst)
+		want[p] = append(want[p], u)
+		batch = append(batch, u)
+	}
+	for p := 0; p < sh.P(); p++ {
+		var us []graph.Update
+		for _, u := range batch {
+			if pt.Of(u.Dst) == p {
+				us = append(us, u)
+			}
+		}
+		if err := sh.AppendTo(p, us); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		b, err := storage.ReadAll(vol, fmt.Sprintf("upd_%d", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b)%graph.UpdateBytes != 0 {
+			t.Fatalf("partition %d: %d bytes is not a whole number of updates", p, len(b))
+		}
+		got := make([]graph.Update, len(b)/graph.UpdateBytes)
+		for i := range got {
+			got[i] = graph.GetUpdate(b[i*graph.UpdateBytes:])
+		}
+		if len(got) != len(want[p]) {
+			t.Fatalf("partition %d: %d updates, want %d", p, len(got), len(want[p]))
+		}
+		for i := range got {
+			if got[i] != want[p][i] {
+				t.Fatalf("partition %d: update %d = %v, want %v", p, i, got[i], want[p][i])
+			}
+		}
+	}
+}

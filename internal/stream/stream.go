@@ -99,6 +99,31 @@ func (s *Scanner[T]) Next() (rec T, ok bool, err error) {
 	return rec, true, nil
 }
 
+// NextChunk fills dst with up to len(dst) consecutive records and
+// returns how many it decoded (0 at end of stream). It reads through the
+// same buffer-refill path as Next, so the device sees the identical
+// sequence of buffer-sized operations regardless of how records are
+// consumed — the property the parallel scatter's chunk determinism rests
+// on. Must be called from the goroutine that owns the scanner (refills
+// charge the simulation clock).
+func (s *Scanner[T]) NextChunk(dst []T) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if s.pos+s.recSize > s.fill {
+			if err := s.refill(); err != nil {
+				return n, err
+			}
+			if s.pos+s.recSize > s.fill {
+				break
+			}
+		}
+		dst[n] = s.decode(s.buf[s.pos:])
+		s.pos += s.recSize
+		n++
+	}
+	return n, nil
+}
+
 // Prefetch enables read-ahead with the given number of look-ahead
 // buffers — the paper's "the number of edge buffers can be more than one
 // for pre-fetching" (§III). The scanner immediately reserves up to
@@ -340,6 +365,24 @@ func NewShuffler(vol storage.Volume, pt *graph.Partitioning, timing Timing, bufS
 func (sh *Shuffler) Append(u graph.Update) error {
 	return sh.outs[sh.pt.Of(u.Dst)].Append(u)
 }
+
+// AppendTo appends a batch of updates already routed to partition p —
+// the merge half of the sharded scatter: workers pre-route updates into
+// per-partition shard slices and the engine thread folds each shard in
+// chunk order, so every partition's update file carries its updates in
+// global edge-scan order no matter how many workers produced them.
+func (sh *Shuffler) AppendTo(p int, us []graph.Update) error {
+	o := sh.outs[p]
+	for _, u := range us {
+		if err := o.Append(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// P returns the number of destination partitions.
+func (sh *Shuffler) P() int { return len(sh.outs) }
 
 // Counts returns the number of updates routed to each partition.
 func (sh *Shuffler) Counts() []int64 {

@@ -48,6 +48,7 @@ func runStreaming(rt *Runtime) (*Result, error) {
 	run := metrics.Run{Engine: EngineName}
 	tr := rt.Tracer()
 	ctr := obs.NewEngineCounters(tr)
+	pool := rt.NewScatterPool(ctr)
 	runSpan := tr.Span("run").Attr("partitions", int64(rt.Parts.P()))
 	prep := runSpan.Child("load")
 	if _, err := rt.Prepare(); err != nil {
@@ -118,7 +119,7 @@ func runStreaming(rt *Runtime) (*Result, error) {
 			}
 			// X-Stream scatters every partition unconditionally.
 			ss := itSpan.Child("scatter").SetPart(p)
-			scanned, emitted, err := scatter(rt, v, edgeScan, uint32(iter), sh, ctr)
+			scanned, emitted, err := scatter(rt, pool, v, edgeScan, uint32(iter), sh, ctr)
 			ss.Attr("edges", scanned).Attr("emitted", emitted).End()
 			if err != nil {
 				sh.Abort()
@@ -240,31 +241,48 @@ func openEdgeScanner(rt *Runtime, name string) (*stream.Scanner[graph.Edge], err
 	return sc, nil
 }
 
-// scatter streams a partition's edge input; edges whose source is in the
-// current frontier (level == iter) emit an update to the destination.
-func scatter(rt *Runtime, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler, ctr obs.EngineCounters) (scanned, emitted int64, err error) {
+// scatter streams a partition's edge input through the worker pool;
+// edges whose source is in the current frontier (level == iter) emit an
+// update to the destination. Classification (frontier test + partition
+// routing) runs on pool workers; the scanner and the shuffler's writers
+// stay on the engine thread, and shards merge in chunk order, so the
+// update files and all accounting are identical for any worker count
+// (see internal/stream/parallel.go).
+func scatter(rt *Runtime, pool *stream.ScatterPool, v *Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler, ctr obs.EngineCounters) (scanned, emitted int64, err error) {
 	defer sc.Close()
-	for {
-		e, ok, err := sc.Next()
-		if err != nil {
-			return scanned, emitted, err
-		}
-		if !ok {
-			break
-		}
-		scanned++
-		ctr.Edges.Add(1)
-		i := int(e.Src - v.Lo)
-		if i < 0 || i >= len(v.Level) {
-			return scanned, emitted, fmt.Errorf("xstream: edge %v outside partition [%d,%d)", e, v.Lo, int(v.Lo)+len(v.Level))
-		}
-		if v.Level[i] == iter {
-			if err := sh.Append(graph.Update{Dst: e.Dst, Parent: e.Src}); err != nil {
-				return scanned, emitted, err
+	lo, n := v.Lo, len(v.Level)
+	classify := func(edges []graph.Edge, out *stream.Shard) {
+		for _, e := range edges {
+			out.Scanned++
+			i := int(e.Src - lo)
+			if i < 0 || i >= n {
+				out.Err = fmt.Errorf("xstream: edge %v outside partition [%d,%d)", e, lo, int(lo)+n)
+				return
 			}
-			emitted++
-			ctr.UpdatesEmitted.Add(1)
+			if v.Level[i] == iter {
+				p := rt.Parts.Of(e.Dst)
+				out.ByPart[p] = append(out.ByPart[p], graph.Update{Dst: e.Dst, Parent: e.Src})
+				out.Emitted++
+			}
 		}
+	}
+	merge := func(s *stream.Shard) error {
+		scanned += s.Scanned
+		emitted += s.Emitted
+		ctr.Edges.Add(s.Scanned)
+		ctr.UpdatesEmitted.Add(s.Emitted)
+		for p, us := range s.ByPart {
+			if len(us) == 0 {
+				continue
+			}
+			if err := sh.AppendTo(p, us); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := pool.RunScanner(sc, classify, merge); err != nil {
+		return scanned, emitted, err
 	}
 	rt.BytesRead += sc.BytesRead()
 	rt.Compute(float64(scanned)*rt.Costs.ScatterPerEdge + float64(emitted)*rt.Costs.AppendPerUpdate)
@@ -326,19 +344,31 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 	if maxIter <= 0 {
 		maxIter = int(rt.Meta.Vertices) + 1
 	}
-	type upd struct {
-		dst, par graph.VertexID
-	}
+	// The in-memory path has no destination partitions to route by, so
+	// the pool's shards hold a single slot; chunk-order merge still
+	// reproduces the sequential update order exactly.
+	pool := stream.NewScatterPool(rt.Opts.ScatterWorkers, rt.Opts.StreamBufSize/graph.EdgeBytes, 1)
+	pool.ChunkCounter = ctr.ScatterChunks
+	pool.BusyCounter = ctr.ScatterBusyNs
+	ctr.ScatterWorkers.Set(int64(pool.Workers()))
 	for iter := uint32(0); int(iter) < maxIter; iter++ {
 		itSpan := runSpan.Child("iteration").SetIter(int(iter))
 		ctr.Iteration.Set(int64(iter))
 		itRow := metrics.Iteration{Index: int(iter), Frontier: 0}
 		ss := itSpan.Child("scatter")
-		var updates []upd
-		for _, e := range edges {
-			if level[e.Src] == iter {
-				updates = append(updates, upd{e.Dst, e.Src})
+		var updates []graph.Update
+		err := pool.RunSlice(edges, func(chunk []graph.Edge, out *stream.Shard) {
+			for _, e := range chunk {
+				if level[e.Src] == iter {
+					out.ByPart[0] = append(out.ByPart[0], graph.Update{Dst: e.Dst, Parent: e.Src})
+				}
 			}
+		}, func(s *stream.Shard) error {
+			updates = append(updates, s.ByPart[0]...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		itRow.EdgesStreamed = int64(len(edges))
 		ctr.Edges.Add(int64(len(edges)))
@@ -348,9 +378,9 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 		gs := itSpan.Child("gather")
 		var newly uint64
 		for _, u := range updates {
-			if level[u.dst] == NoLevel {
-				level[u.dst] = iter + 1
-				parent[u.dst] = u.par
+			if level[u.Dst] == NoLevel {
+				level[u.Dst] = iter + 1
+				parent[u.Dst] = u.Parent
 				newly++
 			}
 		}

@@ -18,6 +18,9 @@ package xstream
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"fastbfs/internal/disksim"
@@ -104,6 +107,12 @@ type Options struct {
 	// scanners ("the number of edge buffers can be more than one for
 	// pre-fetching", §III). Default 2; set negative to disable.
 	PrefetchBuffers int
+	// ScatterWorkers is the number of goroutines classifying edge
+	// chunks in the scatter phase. 0 takes the FASTBFS_WORKERS
+	// environment variable if set, else runtime.NumCPU(); negative
+	// forces the serial path (1). Results are byte-identical for every
+	// setting — see internal/stream/parallel.go for the contract.
+	ScatterWorkers int
 	// Sim enables simulated timing; nil runs in wall-clock mode.
 	Sim *SimConfig
 	// FilePrefix namespaces the engine's working files on the volume.
@@ -138,6 +147,19 @@ func (o *Options) SetDefaults(engineName string) {
 	}
 	if o.PrefetchBuffers < 0 {
 		o.PrefetchBuffers = 0
+	}
+	if o.ScatterWorkers == 0 {
+		if s := os.Getenv("FASTBFS_WORKERS"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				o.ScatterWorkers = n
+			}
+		}
+	}
+	if o.ScatterWorkers == 0 {
+		o.ScatterWorkers = runtime.NumCPU()
+	}
+	if o.ScatterWorkers < 1 {
+		o.ScatterWorkers = 1
 	}
 	if o.FilePrefix == "" {
 		o.FilePrefix = engineName
@@ -272,6 +294,19 @@ func (rt *Runtime) AuxTiming() stream.Timing {
 		return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.AuxDisk}
 	}
 	return rt.MainTiming()
+}
+
+// NewScatterPool builds the run's scatter worker pool. The chunk size
+// is the stream buffer's edge capacity, so chunk boundaries line up
+// with scanner refills and — critically — depend only on the buffer
+// size, never on the worker count, keeping output bytes deterministic.
+func (rt *Runtime) NewScatterPool(ctr obs.EngineCounters) *stream.ScatterPool {
+	chunk := rt.Opts.StreamBufSize / graph.EdgeBytes
+	sp := stream.NewScatterPool(rt.Opts.ScatterWorkers, chunk, rt.Parts.P())
+	sp.ChunkCounter = ctr.ScatterChunks
+	sp.BusyCounter = ctr.ScatterBusyNs
+	ctr.ScatterWorkers.Set(int64(sp.Workers()))
+	return sp
 }
 
 // Compute charges thread-scaled compute work (no-op in wall mode).
