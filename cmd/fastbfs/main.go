@@ -8,6 +8,7 @@
 //	fastbfs -dir DATA -graph rmat20 -root 1 [-engine fastbfs|xstream|graphchi]
 //	        [-mem 1073741824] [-threads 4] [-workers N] [-sim] [-simscale 2048]
 //	        [-twodisks] [-ssd] [-trimstart 0] [-notrim] [-noselsched]
+//	        [-residency-budget 64M]
 //	        [-report] [-validate] [-quiet]
 //	        [-tracefile trace.jsonl] [-debugaddr localhost:6060]
 //	fastbfs -dir DATA -graph rmat20 -config run.conf
@@ -58,6 +59,7 @@ func main() {
 	ssd := flag.Bool("ssd", false, "simulate the SSD instead of the HDD")
 	twoDisks := flag.Bool("twodisks", false, "simulate a second disk for update/stay streams")
 	trimStart := flag.Int("trimstart", 0, "fastbfs: delay trimming until this iteration")
+	residency := flag.String("residency-budget", "", "fastbfs: resident-partition cache budget (bytes with K/M/G suffix, 0/off, or unbounded; empty = FASTBFS_RESIDENCY env)")
 	noTrim := flag.Bool("notrim", false, "fastbfs: disable trimming")
 	noSelSched := flag.Bool("noselsched", false, "fastbfs: disable selective scheduling")
 	report := flag.Bool("report", false, "print the full per-iteration report")
@@ -115,11 +117,17 @@ func main() {
 	var res *xstream.Result
 	switch *engine {
 	case "fastbfs":
+		var budget int64
+		budget, err = core.ParseResidencyBudget(*residency)
+		if err != nil {
+			fail(err)
+		}
 		res, err = core.Run(vol, *name, core.Options{
 			Base:                       opts,
 			TrimStartIteration:         *trimStart,
 			DisableTrimming:            *noTrim,
 			DisableSelectiveScheduling: *noSelSched,
+			ResidencyBudget:            budget,
 		})
 	case "xstream":
 		res, err = xstream.Run(vol, *name, opts)

@@ -139,6 +139,7 @@ func Registry() []Experiment {
 		{ID: "abl-features", Title: "Ablation: trimming / selective scheduling on-off", Run: AblFeatures},
 		{ID: "phases", Title: "Per-iteration phase breakdown (traced FastBFS run)", Run: PhaseBreakdown},
 		{ID: "workers", Title: "Scatter worker-pool sweep (wall clock, Mem volume)", Run: Workers},
+		{ID: "residency", Title: "Resident-partition cache budget sweep", Run: Residency},
 	}
 }
 

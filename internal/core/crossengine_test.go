@@ -158,8 +158,33 @@ func TestEnginesAgreeAcrossWorkerCounts(t *testing.T) {
 					t.Fatalf("graph %d %s workers=%d: invalid tree: %v", g, engine, w, e)
 				}
 			}
-			fb, err := Run(vol, m.Name, Options{Base: base})
-			check("fastbfs", fb, err)
+			// FastBFS additionally sweeps the residency budget: off (all
+			// device, today's behavior), a tiny budget that can promote at
+			// most the smallest trimmed partitions, and unbounded (every
+			// partition promoted at its first trim). The BFS output must
+			// be byte-identical across the sweep, and at unbounded there
+			// is no stay file left to cancel.
+			var fbOff *xstream.Result
+			for _, rb := range []int64{ResidencyOff, 4096, ResidencyUnbounded} {
+				o := Options{Base: base, ResidencyBudget: rb}
+				o.Base.Sim = xstream.DefaultSim()
+				fb, err := Run(vol, m.Name, o)
+				check(fmt.Sprintf("fastbfs(residency=%d)", rb), fb, err)
+				if rb == ResidencyOff {
+					fbOff = fb
+					continue
+				}
+				for i := range fb.Levels {
+					if fb.Levels[i] != fbOff.Levels[i] || fb.Parents[i] != fbOff.Parents[i] {
+						t.Fatalf("graph %d workers=%d residency=%d: output diverged from budget-off at vertex %d: level %d/%d parent %d/%d",
+							g, w, rb, i, fb.Levels[i], fbOff.Levels[i], fb.Parents[i], fbOff.Parents[i])
+					}
+				}
+				if rb == ResidencyUnbounded && fb.Metrics.Cancellations != 0 {
+					t.Fatalf("graph %d workers=%d: unbounded residency still cancelled %d stay writes",
+						g, w, fb.Metrics.Cancellations)
+				}
+			}
 			base.Sim = xstream.DefaultSim()
 			xs, err := xstream.Run(vol, m.Name, base)
 			check("xstream", xs, err)

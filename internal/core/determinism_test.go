@@ -83,6 +83,10 @@ func runRecorded(t *testing.T, workers int) (*recordingVolume, *Result) {
 		// adopted: adopt-vs-cancel decisions depend only on simulated
 		// time, never on real-time races, so the file log is exact.
 		GracePeriod: 1e9,
+		// The recorded file log includes every stay file; a resident
+		// partition would stop producing them, so pin the cache off
+		// (FASTBFS_RESIDENCY must not leak into this contract).
+		ResidencyBudget: ResidencyOff,
 	})
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)

@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"fastbfs/internal/graph"
@@ -79,6 +80,14 @@ type Options struct {
 	// GraceWall is the wall-clock grace period in real-disk mode.
 	// Default 50 ms.
 	GraceWall time.Duration
+
+	// ResidencyBudget is the resident-partition cache's byte budget: a
+	// partition whose trimmed input fits its fair share (budget /
+	// partitions) is promoted into RAM and never touches the device
+	// again (see DESIGN.md §8). 0 consults the FASTBFS_RESIDENCY
+	// environment variable and otherwise leaves the cache off;
+	// ResidencyOff forces it off; ResidencyUnbounded removes the limit.
+	ResidencyBudget int64
 }
 
 // SetDefaults fills unset fields.
@@ -95,6 +104,13 @@ func (o *Options) SetDefaults() {
 	}
 	if o.GraceWall == 0 {
 		o.GraceWall = 50 * time.Millisecond
+	}
+	if o.ResidencyBudget == 0 {
+		if s := os.Getenv("FASTBFS_RESIDENCY"); s != "" {
+			if b, err := ParseResidencyBudget(s); err == nil {
+				o.ResidencyBudget = b
+			}
+		}
 	}
 }
 
@@ -129,6 +145,11 @@ type partState struct {
 	// scatter, still owned by the background writer.
 	pending       *stream.StayFile
 	pendingTiming stream.Timing
+	// resident, when non-nil, holds this partition's live edge set in
+	// RAM: the partition was promoted by the residency cache and its
+	// scatters no longer touch the device (DESIGN.md §8). Promotion is
+	// monotone, so resident never reverts to nil.
+	resident *stream.Resident
 	// updates is the number of updates routed to this partition by the
 	// last scatter phase; selective scheduling skips the partition when
 	// it is zero.
@@ -144,6 +165,7 @@ type engine struct {
 	sw    *stream.StayWriter
 	pool  *stream.ScatterPool
 	parts []partState
+	resd  *stream.Residency
 
 	tr  *obs.Tracer
 	ctr obs.EngineCounters
@@ -184,7 +206,11 @@ func (e *engine) run() (*Result, error) {
 	e.tr = e.rt.Tracer()
 	e.ctr = obs.NewEngineCounters(e.tr)
 	e.pool = e.rt.NewScatterPool(e.ctr)
+	e.resd = stream.NewResidency(e.opts.ResidencyBudget, e.rt.Parts.P())
 	runSpan := e.tr.Span("run").Attr("partitions", int64(e.rt.Parts.P()))
+	if e.resd != nil {
+		runSpan.Attr("residency_budget", e.opts.ResidencyBudget)
+	}
 	prep := runSpan.Child("load")
 	if _, err := e.rt.Prepare(); err != nil {
 		return nil, err
@@ -286,6 +312,10 @@ func (e *engine) run() (*Result, error) {
 	run.Skipped = e.skipped
 	run.TrimmedEdges = e.trimmed
 	run.StayBufferWaits = e.sw.BufferWaits()
+	run.ResidentParts = e.resd.ResidentParts()
+	run.ResidentBytes = e.resd.Bytes()
+	run.ResidentScans = e.resd.Scans()
+	run.ResidentBytesSaved = e.resd.SavedBytes()
 	e.rt.FinishMetrics(&run)
 	res.Metrics = run
 	return res, nil
@@ -308,6 +338,12 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 		e.skipped++
 		e.ctr.Skipped.Add(1)
 		return nil
+	}
+
+	// A promoted partition's edges live in RAM: no stay file to resolve,
+	// no device input to open (DESIGN.md §8).
+	if st.resident != nil {
+		return e.iterateResident(p, iter, sh, itRow, itSpan)
 	}
 
 	// Resolve and open the scatter input ahead of the gather: the
@@ -365,29 +401,47 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 	// the ablation disables selective scheduling).
 	doScatter := st.frontier > 0 || e.opts.DisableSelectiveScheduling
 	if doScatter {
+		// When trimming is active the surviving edges need a sink. If the
+		// whole input fits the residency budget's fair share, this scatter
+		// promotes the partition: the stays are captured in RAM instead of
+		// a stay file, so there is no async write, no grace race and no
+		// possible cancellation for this partition ever again.
+		var sink edgeSink
 		var stay *stream.StayFile
+		var capture *stream.Resident
+		var reserved int64
 		if trimNow {
-			stayTiming := e.otherTiming(inputTiming)
-			stay, err = e.sw.Begin(e.rt.StayFile(iter, p), stayTiming)
-			if err != nil {
-				edgeScan.Close()
-				return err
+			if sz := edgeScan.Size(); e.resd.TryReserve(sz) {
+				reserved = sz
+				capture = stream.NewResident(sz / graph.EdgeBytes)
+				sink = capture
+			} else {
+				stayTiming := e.otherTiming(inputTiming)
+				stay, err = e.sw.Begin(e.rt.StayFile(iter, p), stayTiming)
+				if err != nil {
+					edgeScan.Close()
+					return err
+				}
+				sink = stay
+				st.pendingTiming = stayTiming
 			}
-			st.pendingTiming = stayTiming
 		}
 		ss := itSpan.Child("scatter").SetPart(p)
-		scanned, stayed, err := e.scatter(v, edgeScan, uint32(iter), sh, stay)
-		ss.Attr("edges", scanned).Attr("stayed", stayed).End()
+		scanned, stayed, err := e.scatter(v, edgeScan, uint32(iter), sh, sink)
+		ss.Attr("edges", scanned).Attr("stayed", stayed)
 		if err != nil {
+			ss.End()
 			if stay != nil {
 				stay.Close()
 				stay.Discard()
 			}
+			e.resd.Release(reserved)
 			return err
 		}
 		itRow.EdgesStreamed += scanned
 		if stay != nil {
 			if err := stay.Close(); err != nil {
+				ss.End()
 				return err
 			}
 			st.pending = stay
@@ -396,6 +450,23 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 			e.ctr.StayEdges.Add(stayed)
 			e.ctr.StayBytes.Add(stayed * graph.EdgeBytes)
 		}
+		if capture != nil {
+			// Promotion: the live edge set is now in RAM; the on-device
+			// input is gone for good. The stay write that a device run
+			// would have issued is traffic saved.
+			e.resd.Commit(reserved, capture.Bytes())
+			e.resd.NoteSavedWrite(stayed * graph.EdgeBytes)
+			st.resident = capture
+			e.rt.Vol.Remove(input)
+			st.input, st.inputTiming = "", stream.Timing{}
+			itRow.StayEdges += stayed
+			e.trimmed += scanned - stayed
+			e.ctr.Promotions.Add(1)
+			e.ctr.ResidentParts.Set(e.resd.ResidentParts())
+			e.ctr.ResidentBytes.Set(e.resd.Bytes())
+			ss.Attr("promote", 1)
+		}
+		ss.End()
 	} else {
 		// The speculative input open is abandoned; Close cancels its
 		// read-ahead with a device refund.
@@ -478,6 +549,7 @@ func (e *engine) gather(v *xstream.Verts, updFile string, level uint32) (newly u
 		return 0, 0, err
 	}
 	defer sc.Close()
+	sc.Prefetch(e.rt.Opts.PrefetchBuffers)
 	for {
 		u, ok, err := sc.Next()
 		if err != nil {
@@ -502,6 +574,13 @@ func (e *engine) gather(v *xstream.Verts, updFile string, level uint32) (newly u
 	return newly, applied, nil
 }
 
+// edgeSink receives the edges that survive the trim rule during a
+// scatter: a *stream.StayFile on the device path, a *stream.Resident
+// when the scatter is promoting the partition into the residency cache.
+type edgeSink interface {
+	Append(graph.Edge) error
+}
+
 // scatter streams the edge input through the worker pool: frontier
 // sources emit updates; when stay is non-nil, edges with unvisited
 // sources are appended to it (the trim rule — a visited source can
@@ -509,7 +588,7 @@ func (e *engine) gather(v *xstream.Verts, updFile string, level uint32) (newly u
 // and the stay file (whose buffer hand-offs interact with the virtual
 // clock) stay on the engine thread, fed in chunk order, so file bytes
 // and timing are identical for any worker count.
-func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler, stay *stream.StayFile) (scanned, stayed int64, err error) {
+func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter uint32, sh *stream.Shuffler, stay edgeSink) (scanned, stayed int64, err error) {
 	defer sc.Close()
 	var emitted int64
 	lo, n := v.Lo, len(v.Level)
@@ -563,6 +642,125 @@ func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter 
 		work += float64(stayed) * e.rt.Costs.AppendPerStay
 	}
 	e.rt.Compute(work)
+	return scanned, stayed, nil
+}
+
+// iterateResident is iteratePartition for a promoted partition: the
+// gather is unchanged (updates still stream from the device), but the
+// scatter reads the resident edge slice and trims it in place. There is
+// no stay file, so no adopt-or-cancel decision and no stay-write span.
+func (e *engine) iterateResident(p, iter int, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span) error {
+	st := &e.parts[p]
+	lds := itSpan.Child("load").SetPart(p)
+	v, err := e.rt.LoadVerts(p)
+	lds.End()
+	if err != nil {
+		return err
+	}
+	gs := itSpan.Child("gather").SetPart(p)
+	newly, applied, err := e.gather(v, e.rt.UpdateFile(iterIn(iter), p), uint32(iter))
+	gs.Attr("applied", applied).End()
+	if err != nil {
+		return err
+	}
+	e.ctr.UpdatesApplied.Add(applied)
+	e.ctr.Visited.Add(int64(newly))
+	st.frontier = newly
+	e.visited += newly
+	itRow.NewlyVisited += newly
+	itRow.Updates += applied
+
+	if st.frontier > 0 || e.opts.DisableSelectiveScheduling {
+		ss := itSpan.Child("scatter").SetPart(p).Attr("resident", 1)
+		scanned, stayed, err := e.scatterResident(v, st.resident, uint32(iter), sh)
+		ss.Attr("edges", scanned).Attr("stayed", stayed).End()
+		if err != nil {
+			return err
+		}
+		itRow.EdgesStreamed += scanned
+		itRow.StayEdges += stayed
+		e.trimmed += scanned - stayed
+		e.ctr.ResidentScans.Add(1)
+		e.ctr.ResidentBytes.Set(e.resd.Bytes())
+	} else {
+		itRow.SkippedPartitions++
+		e.skipped++
+		e.ctr.Skipped.Add(1)
+	}
+
+	if st.frontier > 0 || e.opts.DisableSelectiveScheduling {
+		svs := itSpan.Child("load").SetPart(p)
+		err := e.rt.SaveVerts(p, v)
+		svs.End()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterResident scatters a promoted partition from RAM through the
+// same worker pool. The device read is replaced by a serial
+// memory-bandwidth charge on the virtual clock, and trimming becomes an
+// in-place compaction of the resident slice: merged chunks append their
+// survivors at indices strictly below any chunk still being classified
+// (the merge frontier trails the dispatch frontier), so workers never
+// see a mutated edge. No stay file is written — the avoided write is
+// counted as device traffic saved.
+func (e *engine) scatterResident(v *xstream.Verts, res *stream.Resident, iter uint32, sh *stream.Shuffler) (scanned, stayed int64, err error) {
+	edges := res.Edges()
+	kept := edges[:0]
+	var emitted int64
+	lo, n := v.Lo, len(v.Level)
+	classify := func(chunk []graph.Edge, out *stream.Shard) {
+		for _, edge := range chunk {
+			out.Scanned++
+			i := int(edge.Src - lo)
+			if i < 0 || i >= n {
+				out.Err = fmt.Errorf("fastbfs: edge %v outside partition [%d,%d)", edge, lo, int(lo)+n)
+				return
+			}
+			if v.Level[i] == iter {
+				p := e.rt.Parts.Of(edge.Dst)
+				out.ByPart[p] = append(out.ByPart[p], graph.Update{Dst: edge.Dst, Parent: edge.Src})
+				out.Emitted++
+			}
+			if v.Level[i] == xstream.NoLevel {
+				out.Stays = append(out.Stays, edge)
+				out.Stayed++
+			}
+		}
+	}
+	merge := func(s *stream.Shard) error {
+		scanned += s.Scanned
+		emitted += s.Emitted
+		stayed += s.Stayed
+		e.ctr.Edges.Add(s.Scanned)
+		e.ctr.UpdatesEmitted.Add(s.Emitted)
+		for p, us := range s.ByPart {
+			if len(us) == 0 {
+				continue
+			}
+			if err := sh.AppendTo(p, us); err != nil {
+				return err
+			}
+		}
+		kept = append(kept, s.Stays...)
+		return nil
+	}
+	scannedBytes := int64(len(edges)) * graph.EdgeBytes
+	if err := e.pool.RunSlice(edges, classify, merge); err != nil {
+		return scanned, stayed, err
+	}
+	e.rt.RAMScan(scannedBytes)
+	e.resd.NoteScan(scannedBytes)
+	freed := res.Bytes() - int64(len(kept))*graph.EdgeBytes
+	res.Replace(kept)
+	e.resd.Shrink(freed)
+	e.resd.NoteSavedWrite(stayed * graph.EdgeBytes)
+	e.rt.Compute(float64(scanned)*e.rt.Costs.ScatterPerEdge +
+		float64(emitted)*e.rt.Costs.AppendPerUpdate +
+		float64(stayed)*e.rt.Costs.AppendPerStay)
 	return scanned, stayed, nil
 }
 

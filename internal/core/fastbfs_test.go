@@ -8,6 +8,7 @@ import (
 	"fastbfs/internal/disksim"
 	"fastbfs/internal/gen"
 	"fastbfs/internal/graph"
+	"fastbfs/internal/metrics"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/xstream"
 )
@@ -282,6 +283,9 @@ func TestFastBFSCancellationUnderTinyGrace(t *testing.T) {
 		StayDisk: &disksim.Device{Name: "slowstay", SeekLatency: 1e-4, Bandwidth: 1e5},
 	}
 	opts.GracePeriod = 1e-9
+	// Keep every partition on the device: a resident partition has no
+	// stay file to cancel, which is exactly the path under test.
+	opts.ResidencyBudget = ResidencyOff
 	res := checkAgainstReference(t, m, edges, root, opts)
 	if res.Metrics.Cancellations == 0 {
 		t.Fatal("expected cancellations under a nanosecond grace period on a slow disk")
@@ -414,4 +418,71 @@ func maxDegreeVertex(m graph.Meta, edges []graph.Edge) graph.VertexID {
 		}
 	}
 	return best
+}
+
+func TestCancelledStayWritesRefundDeviceTimeline(t *testing.T) {
+	// Regression for the grace-and-cancel refund: a negative grace
+	// period makes the adopt test (ReadyAt <= now + grace) fail for
+	// every pending stay file — ReadyAt is never in the past — so every
+	// stay write trimming starts is discarded (fastbfs.go resolveInput).
+	// Cancellation must refund the device timeline completely: with the
+	// per-stay compute cost zeroed, such a run is indistinguishable in
+	// simulated time, main-device stats and engine byte counters from a
+	// run with trimming disabled. The stay disk is dedicated, so its
+	// partially-serviced (non-refundable) transfers cannot leak into any
+	// compared number.
+	m, edges, err := gen.RMAT(9, 8, gen.Graph500(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := maxDegreeVertex(m, edges)
+	run := func(disableTrim bool) *Result {
+		opts := smallOpts()
+		costs := disksim.DefaultCosts()
+		costs.AppendPerStay = 0 // equalize scatter compute across the two runs
+		opts.Base.Sim = &xstream.SimConfig{
+			CPU:      disksim.DefaultCPU(),
+			Costs:    costs,
+			MainDisk: disksim.HDDScaled("main", 100),
+			StayDisk: disksim.HDD("stay0"),
+		}
+		opts.GracePeriod = -1
+		opts.StayBufCount = 1024 // never stall on stay-buffer exhaustion
+		opts.ResidencyBudget = ResidencyOff
+		opts.DisableTrimming = disableTrim
+		return checkAgainstReference(t, m, edges, root, opts)
+	}
+	cancelled, disabled := run(false), run(true)
+	if cancelled.Metrics.Cancellations == 0 {
+		t.Fatal("negative grace period cancelled nothing — the refund path was not exercised")
+	}
+	if cancelled.Metrics.StayBufferWaits != 0 {
+		t.Fatalf("stay-buffer waits (%d) would skew the timing comparison", cancelled.Metrics.StayBufferWaits)
+	}
+	if got, want := cancelled.Metrics.ExecTime, disabled.Metrics.ExecTime; got != want {
+		t.Errorf("ExecTime with all-cancelled trimming = %v, want %v (trimming disabled)", got, want)
+	}
+	if got, want := cancelled.Metrics.BytesRead, disabled.Metrics.BytesRead; got != want {
+		t.Errorf("BytesRead = %d, want %d", got, want)
+	}
+	if got, want := cancelled.Metrics.BytesWritten, disabled.Metrics.BytesWritten; got != want {
+		t.Errorf("BytesWritten = %d, want %d", got, want)
+	}
+	var mainC, mainD *metrics.DeviceStats
+	for i := range cancelled.Metrics.Devices {
+		if cancelled.Metrics.Devices[i].Name == "main" {
+			mainC = &cancelled.Metrics.Devices[i]
+		}
+	}
+	for i := range disabled.Metrics.Devices {
+		if disabled.Metrics.Devices[i].Name == "main" {
+			mainD = &disabled.Metrics.Devices[i]
+		}
+	}
+	if mainC == nil || mainD == nil {
+		t.Fatal("main device stats missing from metrics")
+	}
+	if *mainC != *mainD {
+		t.Errorf("main device stats diverged:\n  all-cancelled: %+v\n  trim-disabled: %+v", *mainC, *mainD)
+	}
 }

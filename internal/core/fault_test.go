@@ -72,7 +72,9 @@ func TestRunSurvivesStayWriteFailure(t *testing.T) {
 		}
 		return nil
 	})
-	res, err := Run(vol, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}})
+	// Pin the residency cache off: this test is about the stay-file
+	// fallback path, which a promoted partition never takes.
+	res, err := Run(vol, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}, ResidencyBudget: ResidencyOff})
 	if err != nil {
 		t.Fatalf("stay-write failure killed the run: %v", err)
 	}
@@ -162,7 +164,7 @@ func TestParallelScatterSurvivesStayFaults(t *testing.T) {
 	})
 	opts := Options{Base: xstream.Options{
 		MemoryBudget: 4096, StreamBufSize: 256, ScatterWorkers: 8, Sim: xstream.DefaultSim(),
-	}}
+	}, ResidencyBudget: ResidencyOff} // stay-file path under test: keep partitions on the device
 	res, err := Run(vol, m.Name, opts)
 	if err != nil {
 		t.Fatalf("stay-write failure killed the parallel run: %v", err)
@@ -211,6 +213,9 @@ func TestWallModeCancellationViaSlowWriter(t *testing.T) {
 	opts := Options{
 		Base:      xstream.Options{MemoryBudget: 4096, StreamBufSize: 256},
 		GraceWall: 1, // nanoseconds: effectively immediate timeout
+		// Keep partitions on the device: a promoted partition never
+		// writes the stay file this test slows down.
+		ResidencyBudget: ResidencyOff,
 	}
 	res, err := Run(vol, m.Name, opts)
 	if err != nil {

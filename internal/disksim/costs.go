@@ -30,6 +30,10 @@ type Costs struct {
 	// EdgeVisit is charged per in-edge examined by a GraphChi vertex
 	// update function.
 	EdgeVisit float64
+	// MemBandwidth is the sequential RAM scan rate in bytes/second,
+	// charged (as serial compute) when an engine scans a resident
+	// in-memory partition instead of streaming it from a device.
+	MemBandwidth float64
 }
 
 // DefaultCosts returns costs calibrated so that disk-based BFS is
@@ -45,5 +49,6 @@ func DefaultCosts() Costs {
 		SortPerEdge:     900e-9,
 		VertexUpdate:    400e-9,
 		EdgeVisit:       160e-9,
+		MemBandwidth:    6.4e9,
 	}
 }

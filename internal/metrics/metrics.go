@@ -71,6 +71,17 @@ type Run struct {
 	// StayBufferWaits counts engine stalls on stay-buffer exhaustion
 	// (the paper's condition 1, §III).
 	StayBufferWaits int64
+
+	// ResidentParts is the number of partitions the residency cache
+	// promoted into RAM by the end of the run (FastBFS, DESIGN.md §8).
+	ResidentParts int64
+	// ResidentBytes is the cache's final footprint in bytes.
+	ResidentBytes int64
+	// ResidentScans counts partition scatters served from RAM.
+	ResidentScans int64
+	// ResidentBytesSaved is device traffic the cache avoided: edge reads
+	// served from RAM plus stay-file writes never issued.
+	ResidentBytesSaved int64
 }
 
 // IOWaitRatio is iowait / exec time (Fig. 6's metric).
@@ -115,6 +126,9 @@ func (r *Run) String() string {
 	if r.StayBufferWaits > 0 {
 		s += fmt.Sprintf(" staywaits=%d", r.StayBufferWaits)
 	}
+	if r.ResidentParts > 0 {
+		s += fmt.Sprintf(" resident=%d saved=%.3fGB", r.ResidentParts, GB(r.ResidentBytesSaved))
+	}
 	return s
 }
 
@@ -144,6 +158,12 @@ func (r *Run) Report() string {
 	}
 	if r.StayBufferWaits > 0 {
 		fmt.Fprintf(&b, "stay-buf waits: %d\n", r.StayBufferWaits)
+	}
+	if r.ResidentParts > 0 {
+		fmt.Fprintf(&b, "resident parts: %d (%.4f GB held, %d RAM scans)\n",
+			r.ResidentParts, GB(r.ResidentBytes), r.ResidentScans)
+		fmt.Fprintf(&b, "device bytes saved: %d (%.4f GB)\n",
+			r.ResidentBytesSaved, GB(r.ResidentBytesSaved))
 	}
 	for _, d := range r.Devices {
 		fmt.Fprintf(&b, "device %-6s read=%.4fGB written=%.4fGB busy=%.4fs ops=%d\n",

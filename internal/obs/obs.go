@@ -452,6 +452,10 @@ const (
 	CtrScatterWorkers  = "scatter_workers"
 	CtrScatterChunks   = "scatter_chunks"
 	CtrScatterBusyNs   = "scatter_busy_ns"
+	CtrResidentParts   = "resident_parts"
+	CtrResidentBytes   = "resident_bytes"
+	CtrResidentScans   = "resident_scans"
+	CtrPromotions      = "promotions"
 )
 
 // EngineCounters bundles the standard live counters an engine maintains.
@@ -473,6 +477,10 @@ type EngineCounters struct {
 	ScatterWorkers *Counter // gauge: scatter worker-pool size
 	ScatterChunks  *Counter // edge chunks processed by scatter workers
 	ScatterBusyNs  *Counter // cumulative worker wall-nanoseconds classifying chunks
+	ResidentParts  *Counter // gauge: partitions promoted to the RAM cache
+	ResidentBytes  *Counter // gauge: bytes held by the resident-partition cache
+	ResidentScans  *Counter // partition scatters served from RAM
+	Promotions     *Counter // partition promotions (== resident parts; monotone)
 }
 
 // NewEngineCounters registers (or re-fetches) the standard counter set.
@@ -494,5 +502,9 @@ func NewEngineCounters(t *Tracer) EngineCounters {
 		ScatterWorkers: t.Counter(CtrScatterWorkers),
 		ScatterChunks:  t.Counter(CtrScatterChunks),
 		ScatterBusyNs:  t.Counter(CtrScatterBusyNs),
+		ResidentParts:  t.Counter(CtrResidentParts),
+		ResidentBytes:  t.Counter(CtrResidentBytes),
+		ResidentScans:  t.Counter(CtrResidentScans),
+		Promotions:     t.Counter(CtrPromotions),
 	}
 }

@@ -25,6 +25,7 @@ stay_buf_size = 1M
 stay_buf_count = 16
 grace_period = 0.1
 grace_wall_ms = 20
+residency_budget = 64M
 sim = true
 device = ssd
 seek_scale = 2048
@@ -54,6 +55,9 @@ stay_disk_bandwidth_frac = 0.5
 	}
 	if o.GraceWall != 20*time.Millisecond || o.GracePeriod != 0.1 || o.StayBufCount != 16 {
 		t.Fatalf("core opts: %+v", o)
+	}
+	if o.ResidencyBudget != 64<<20 {
+		t.Fatalf("residency budget: %d", o.ResidencyBudget)
 	}
 	sim := o.Base.Sim
 	if sim == nil || sim.MainDisk == nil || sim.AuxDisk == nil || sim.StayDisk == nil {

@@ -194,6 +194,9 @@ func (s *Scanner[T]) refill() error {
 // BytesRead reports the bytes consumed from the file so far.
 func (s *Scanner[T]) BytesRead() int64 { return s.read }
 
+// Size returns the underlying file's size in bytes.
+func (s *Scanner[T]) Size() int64 { return s.r.Size() }
+
 // Close releases the underlying file, cancelling any outstanding
 // read-ahead (refunding its unconsumed device time and bytes).
 func (s *Scanner[T]) Close() error {

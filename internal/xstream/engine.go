@@ -205,6 +205,7 @@ func gather(rt *Runtime, v *Verts, updFile string, level uint32) (newly uint64, 
 		return 0, 0, err
 	}
 	defer sc.Close()
+	sc.Prefetch(rt.Opts.PrefetchBuffers)
 	for {
 		u, ok, err := sc.Next()
 		if err != nil {
@@ -307,7 +308,11 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 	if err != nil {
 		return nil, err
 	}
-	edges := make([]graph.Edge, 0, rt.Meta.Edges)
+	// The loaded edge list lives in a stream.Resident — the same
+	// representation the FastBFS residency cache promotes partitions
+	// into — so the in-memory path is "everything resident from the
+	// start" rather than a separate structure.
+	live := stream.NewResident(int64(rt.Meta.Edges))
 	for {
 		e, ok, err := sc.Next()
 		if err != nil {
@@ -321,12 +326,15 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 			sc.Close()
 			return nil, err
 		}
-		edges = append(edges, e)
+		if err := live.Append(e); err != nil {
+			sc.Close()
+			return nil, err
+		}
 	}
 	rt.BytesRead += sc.BytesRead()
 	sc.Close()
 	ctr.BytesRead.Set(rt.BytesRead)
-	lds.Attr("edges", int64(len(edges))).End()
+	lds.Attr("edges", live.Count()).End()
 
 	level := make([]uint32, rt.Meta.Vertices)
 	parent := make([]graph.VertexID, rt.Meta.Vertices)
@@ -356,6 +364,7 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 		ctr.Iteration.Set(int64(iter))
 		itRow := metrics.Iteration{Index: int(iter), Frontier: 0}
 		ss := itSpan.Child("scatter")
+		edges := live.Edges()
 		var updates []graph.Update
 		err := pool.RunSlice(edges, func(chunk []graph.Edge, out *stream.Shard) {
 			for _, e := range chunk {
@@ -373,6 +382,7 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 		itRow.EdgesStreamed = int64(len(edges))
 		ctr.Edges.Add(int64(len(edges)))
 		ctr.UpdatesEmitted.Add(int64(len(updates)))
+		rt.RAMScan(live.Bytes())
 		rt.Compute(float64(len(edges))*rt.Costs.ScatterPerEdge + float64(len(updates))*rt.Costs.AppendPerUpdate)
 		ss.Attr("edges", int64(len(edges))).Attr("emitted", int64(len(updates))).End()
 		gs := itSpan.Child("gather")
@@ -394,13 +404,14 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 		if trim != nil {
 			ts := itSpan.Child("stay-write")
 			before := len(edges)
-			edges = trim(edges, level)
-			itRow.StayEdges = int64(len(edges))
+			live.Replace(trim(edges, level))
+			kept := int(live.Count())
+			itRow.StayEdges = int64(kept)
 			itRow.TrimActive = true
-			run.TrimmedEdges += int64(before - len(edges))
+			run.TrimmedEdges += int64(before - kept)
 			rt.Compute(float64(before) * rt.Costs.AppendPerStay)
-			ts.Attr("stay_edges", int64(len(edges))).End()
-			ctr.StayEdges.Add(int64(len(edges)))
+			ts.Attr("stay_edges", int64(kept)).End()
+			ctr.StayEdges.Add(int64(kept))
 		}
 		run.Iterations = append(run.Iterations, itRow)
 		ctr.Frontier.Set(int64(newly))

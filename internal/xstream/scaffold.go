@@ -316,6 +316,19 @@ func (rt *Runtime) Compute(seconds float64) {
 	}
 }
 
+// RAMScan charges the serial memory-bandwidth cost of scanning n bytes
+// of a resident in-memory partition. A RAM scan is a single sequential
+// sweep, so it does not scale with the thread count the way per-edge
+// classification compute does; it is also what replaces a device read,
+// so it must hit the clock even when per-edge costs are zeroed. No-op
+// in wall mode or when the cost model has no memory bandwidth.
+func (rt *Runtime) RAMScan(n int64) {
+	if rt.Clock == nil || rt.Costs.MemBandwidth <= 0 || n <= 0 {
+		return
+	}
+	rt.Clock.ComputeSerial(float64(n) / rt.Costs.MemBandwidth)
+}
+
 // FinishMetrics fills the timing and device fields of a metrics record.
 func (rt *Runtime) FinishMetrics(run *metrics.Run) {
 	run.Graph = rt.Meta.Name
