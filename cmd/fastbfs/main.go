@@ -26,6 +26,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -38,10 +40,11 @@ import (
 	"fastbfs/internal/bfs"
 	"fastbfs/internal/core"
 	"fastbfs/internal/disksim"
+	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
-	"fastbfs/internal/graphchi"
 	"fastbfs/internal/obs"
 	"fastbfs/internal/runconfig"
+	"fastbfs/internal/serve"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/xstream"
 )
@@ -114,28 +117,21 @@ func main() {
 	}
 	ob.noteRun(*engine, *name, *sim)
 
-	var res *xstream.Result
-	switch *engine {
-	case "fastbfs":
-		var budget int64
-		budget, err = core.ParseResidencyBudget(*residency)
-		if err != nil {
-			fail(err)
-		}
-		res, err = core.Run(vol, *name, core.Options{
-			Base:                       opts,
-			TrimStartIteration:         *trimStart,
-			DisableTrimming:            *noTrim,
-			DisableSelectiveScheduling: *noSelSched,
-			ResidencyBudget:            budget,
-		})
-	case "xstream":
-		res, err = xstream.Run(vol, *name, opts)
-	case "graphchi":
-		res, err = graphchi.Run(vol, *name, opts)
-	default:
-		err = fmt.Errorf("unknown engine %q", *engine)
+	eng, err := serve.ParseEngine(*engine)
+	if err != nil {
+		fail(err)
 	}
+	budget, err := core.ParseResidencyBudget(*residency)
+	if err != nil {
+		fail(err)
+	}
+	res, err := serve.RunEngine(context.Background(), eng, vol, *name, core.Options{
+		Base:                       opts,
+		TrimStartIteration:         *trimStart,
+		DisableTrimming:            *noTrim,
+		DisableSelectiveScheduling: *noSelSched,
+		ResidencyBudget:            budget,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -158,21 +154,13 @@ func runFromConfig(vol storage.Volume, name, path string, report, validate bool,
 		fail(err)
 	}
 	ob.noteRun(cfg.Engine, name, cfg.Sim)
-	var res *xstream.Result
-	switch cfg.Engine {
-	case "fastbfs":
-		co := cfg.CoreOptions()
-		co.Base.Tracer = ob.tracer
-		res, err = core.Run(vol, name, co)
-	case "xstream":
-		eo := cfg.EngineOptions()
-		eo.Tracer = ob.tracer
-		res, err = xstream.Run(vol, name, eo)
-	case "graphchi":
-		eo := cfg.EngineOptions()
-		eo.Tracer = ob.tracer
-		res, err = graphchi.Run(vol, name, eo)
+	eng, err := serve.ParseEngine(cfg.Engine)
+	if err != nil {
+		fail(err)
 	}
+	co := cfg.CoreOptions()
+	co.Base.Tracer = ob.tracer
+	res, err := serve.RunEngine(context.Background(), eng, vol, name, co)
 	if err != nil {
 		fail(err)
 	}
@@ -310,7 +298,16 @@ func (ob *observability) progressPage(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// fail exits with a code derived from the error's sentinel: 2 for a
+// malformed request (bad flags, unknown engine, root out of range), 3
+// for a missing graph, 1 otherwise.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "fastbfs:", err)
+	switch {
+	case errors.Is(err, errs.ErrBadOptions):
+		os.Exit(2)
+	case errors.Is(err, errs.ErrGraphNotFound):
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,204 @@
+// Command fastbfsd serves BFS queries over one stored graph as a
+// long-lived HTTP daemon: the graph is opened once and queried many
+// times concurrently, with per-query deadlines, admission control and a
+// result cache (internal/serve).
+//
+// Usage:
+//
+//	fastbfsd -dir DATA -graph rmat20 [-addr localhost:8090]
+//	         [-mem 1073741824] [-threads 4] [-workers N]
+//	         [-sim] [-simscale 2048] [-residency-budget 64M]
+//	         [-max-inflight 4] [-max-queue 8] [-cache 64]
+//	         [-drain-timeout 30s] [-debugaddr localhost:6060]
+//
+// Endpoints:
+//
+//	POST /query   {"algorithm":"bfs|msbfs|sssp","engine":"fastbfs|xstream|graphchi",
+//	               "root":1,"roots":[..],"max_iterations":0,"timeout_ms":0,
+//	               "no_cache":false,"include_values":false}
+//	GET  /healthz liveness plus live service counters
+//
+// Saturated admission returns 429, a blown server-side deadline 504, a
+// malformed query 400. SIGINT/SIGTERM drain gracefully: the listener
+// stops accepting, in-flight queries run to completion (bounded by
+// -drain-timeout), then the process exits.
+//
+// -debugaddr serves net/http/pprof, expvar counters (including the
+// serve_* admission/cache counters) and a plain-text stats page, like
+// cmd/fastbfs.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fastbfs/internal/core"
+	"fastbfs/internal/disksim"
+	"fastbfs/internal/errs"
+	"fastbfs/internal/obs"
+	"fastbfs/internal/serve"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8090", "address to serve the query API on")
+	dir := flag.String("dir", ".", "directory holding the stored graph")
+	name := flag.String("graph", "", "dataset name (required)")
+	mem := flag.Uint64("mem", 1<<30, "per-query working memory budget in bytes")
+	threads := flag.Int("threads", 4, "compute threads per query")
+	workers := flag.Int("workers", 0, "scatter worker goroutines per query (0 = FASTBFS_WORKERS env or NumCPU)")
+	sim := flag.Bool("sim", false, "run queries against the simulated testbed (per-query device clones)")
+	simScale := flag.Float64("simscale", 1, "scale down the simulated positioning cost by this factor")
+	ssd := flag.Bool("ssd", false, "simulate the SSD instead of the HDD")
+	residency := flag.String("residency-budget", "", "fastbfs: resident-partition cache budget per query (bytes with K/M/G suffix, 0/off, or unbounded)")
+	maxInFlight := flag.Int("max-inflight", 4, "queries executing concurrently")
+	maxQueue := flag.Int("max-queue", 0, "queries allowed to wait for a slot (0 = 2*max-inflight; negative = reject immediately when busy)")
+	cacheEntries := flag.Int("cache", 64, "result-cache entries (negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	debugAddr := flag.String("debugaddr", "", "serve pprof, expvar counters and a stats page on this address")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "fastbfsd: -graph is required")
+		os.Exit(2)
+	}
+	vol, err := storage.NewOS(*dir)
+	if err != nil {
+		fail(err)
+	}
+	budget, err := core.ParseResidencyBudget(*residency)
+	if err != nil {
+		fail(err)
+	}
+
+	base := core.Options{
+		Base: xstream.Options{
+			MemoryBudget:   *mem,
+			Threads:        *threads,
+			ScatterWorkers: *workers,
+		},
+		ResidencyBudget: budget,
+	}
+	if *sim {
+		cfg := &xstream.SimConfig{CPU: disksim.DefaultCPU(), Costs: disksim.DefaultCosts()}
+		if *ssd {
+			cfg.MainDisk = disksim.SSDScaled("ssd0", *simScale)
+		} else {
+			cfg.MainDisk = disksim.HDDScaled("hdd0", *simScale)
+		}
+		base.Base.Sim = cfg
+	}
+
+	tr := obs.New()
+	defer tr.Close()
+	svc, err := serve.New(vol, *name, serve.Config{
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		CacheEntries: *cacheEntries,
+		Base:         base,
+		Tracer:       tr,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *debugAddr != "" {
+		if err := serveDebug(*debugAddr, tr, svc); err != nil {
+			fail(err)
+		}
+	}
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "fastbfsd: serving %s (%d vertices, %d edges) on http://%s\n",
+		*name, svc.Graph().Vertices, svc.Graph().Edges, ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "fastbfsd: draining...")
+	case err := <-errCh:
+		fail(err)
+	}
+	stop()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the listener first (no new queries), then drain the service.
+	if err := server.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "fastbfsd: http shutdown:", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "fastbfsd: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "fastbfsd: drained")
+}
+
+// serveDebug starts the debug HTTP server: pprof, expvar (service
+// counters published as "fastbfsd") and a plain-text stats page at /.
+func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
+	expvar.Publish("fastbfsd", expvar.Func(func() any { return tr.CounterMap() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		st := svc.Stats()
+		fmt.Fprintf(w, "fastbfsd live stats\n\n")
+		fmt.Fprintf(w, "%-22s %d\n", "in_flight", st.InFlight)
+		fmt.Fprintf(w, "%-22s %d\n", "queue_depth", st.QueueDepth)
+		fmt.Fprintf(w, "%-22s %d\n", "admitted", st.Admitted)
+		fmt.Fprintf(w, "%-22s %d\n", "rejected", st.Rejected)
+		fmt.Fprintf(w, "%-22s %d\n", "cancelled", st.Cancelled)
+		fmt.Fprintf(w, "%-22s %d\n", "completed", st.Completed)
+		fmt.Fprintf(w, "%-22s %d\n", "cache_hits", st.CacheHits)
+		fmt.Fprintf(w, "%-22s %d\n", "cache_misses", st.CacheMisses)
+		fmt.Fprintf(w, "%-22s %d\n", "cache_size", st.CacheSize)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug server on %s: %w", addr, err)
+	}
+	go http.Serve(ln, mux)
+	return nil
+}
+
+// fail mirrors cmd/fastbfs: exit 2 for malformed input, 3 for a missing
+// graph, 1 otherwise.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fastbfsd:", err)
+	switch {
+	case errors.Is(err, errs.ErrBadOptions):
+		os.Exit(2)
+	case errors.Is(err, errs.ErrGraphNotFound):
+		os.Exit(3)
+	}
+	os.Exit(1)
+}

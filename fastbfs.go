@@ -24,24 +24,66 @@
 //
 //	opts := fastbfs.DefaultOptions()
 //	opts.Base.Root = 1
-//	res, _ := fastbfs.BFS(vol, meta.Name, opts)
+//	res, _ := fastbfs.Run(context.Background(), fastbfs.EngineFastBFS, vol, meta.Name, opts)
 //	fmt.Println(res.Visited, "vertices reached in", res.Metrics.ExecTime, "virtual seconds")
+//
+// # Contexts, engines and errors
+//
+// Every entry point has a context-first form (Run, BFSContext,
+// SSSPContext, ...) whose ctx cancels the traversal at the next
+// iteration or partition boundary; the context-free forms remain as
+// thin wrappers over context.Background() for existing callers and new
+// code should prefer the context-first ones — the wrappers stay for
+// compatibility but get no new capabilities. The three BFS engines are
+// selected by the Engine enum through Run; BFS, BFSXStream and
+// BFSGraphChi are one-line conveniences over it. Failures are matchable
+// with errors.Is against the exported sentinels (ErrGraphNotFound,
+// ErrBadOptions, ErrCancelled, ErrBusy, ErrClosed).
+//
+// # Serving
+//
+// NewService turns a stored graph into a long-lived concurrent query
+// service with per-query deadlines, admission control and a result
+// cache; cmd/fastbfsd exposes it over HTTP. See DESIGN.md §9.
 //
 // See examples/ for complete programs and internal/bench for the
 // harness that regenerates every table and figure of the paper.
 package fastbfs
 
 import (
+	"context"
+
 	"fastbfs/internal/algo"
 	"fastbfs/internal/bfs"
 	"fastbfs/internal/core"
 	"fastbfs/internal/disksim"
+	"fastbfs/internal/errs"
 	"fastbfs/internal/gen"
 	"fastbfs/internal/graph"
-	"fastbfs/internal/graphchi"
 	"fastbfs/internal/metrics"
+	"fastbfs/internal/serve"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/xstream"
+)
+
+// Sentinel errors shared by every engine and the query service; match
+// with errors.Is. An engine error may wrap several of them plus the
+// context cause (a cancelled query matches both ErrCancelled and
+// context.Canceled / context.DeadlineExceeded).
+var (
+	// ErrGraphNotFound: the named graph has no config or edge file on
+	// the volume.
+	ErrGraphNotFound = errs.ErrGraphNotFound
+	// ErrBadOptions: the query or options are malformed (root out of
+	// range, weighted graph handed to BFS, unknown engine...).
+	ErrBadOptions = errs.ErrBadOptions
+	// ErrCancelled: the run was abandoned because its context was
+	// cancelled or its deadline passed.
+	ErrCancelled = errs.ErrCancelled
+	// ErrBusy: the query service's admission queue is full.
+	ErrBusy = errs.ErrBusy
+	// ErrClosed: the query service is shut down or draining.
+	ErrClosed = errs.ErrClosed
 )
 
 // Core graph types.
@@ -127,21 +169,55 @@ func HDD(name string) *Device { return disksim.HDD(name) }
 // SSD returns a simulated SATA2-era SSD.
 func SSD(name string) *Device { return disksim.SSD(name) }
 
-// BFS runs the FastBFS engine (the paper's contribution) over a stored
-// graph.
-func BFS(vol Volume, graphName string, opts Options) (*Result, error) {
-	return core.Run(vol, graphName, opts)
+// Engine selects a BFS engine for Run: the paper's FastBFS or one of
+// the two baselines it is evaluated against.
+type Engine = serve.Engine
+
+// The available engines.
+const (
+	EngineFastBFS  = serve.EngineFastBFS
+	EngineXStream  = serve.EngineXStream
+	EngineGraphChi = serve.EngineGraphChi
+)
+
+// ParseEngine maps "fastbfs", "xstream" or "graphchi" to an Engine
+// ("" defaults to fastbfs); unknown names fail with ErrBadOptions.
+func ParseEngine(s string) (Engine, error) { return serve.ParseEngine(s) }
+
+// Run executes a BFS on the chosen engine, cancellable through ctx:
+// the engines poll it at iteration and partition boundaries (and in
+// FastBFS's stay writer), so a cancelled run releases its buffers and
+// working files promptly and returns an error matching ErrCancelled.
+// The baselines read only opts.Base; the FastBFS-specific fields (trim
+// policy, stay buffers, grace periods, residency budget) apply to
+// EngineFastBFS.
+func Run(ctx context.Context, engine Engine, vol Volume, graphName string, opts Options) (*Result, error) {
+	return serve.RunEngine(ctx, engine, vol, graphName, opts)
 }
 
-// BFSXStream runs the X-Stream baseline engine.
+// BFSContext runs the FastBFS engine (the paper's contribution) over a
+// stored graph, cancellable through ctx.
+func BFSContext(ctx context.Context, vol Volume, graphName string, opts Options) (*Result, error) {
+	return serve.RunEngine(ctx, EngineFastBFS, vol, graphName, opts)
+}
+
+// BFS is BFSContext without cancellation — a compatibility wrapper over
+// context.Background(); prefer BFSContext or Run in new code.
+func BFS(vol Volume, graphName string, opts Options) (*Result, error) {
+	return BFSContext(context.Background(), vol, graphName, opts)
+}
+
+// BFSXStream runs the X-Stream baseline engine. Compatibility wrapper:
+// prefer Run(ctx, EngineXStream, ...) in new code.
 func BFSXStream(vol Volume, graphName string, opts EngineOptions) (*Result, error) {
-	return xstream.Run(vol, graphName, opts)
+	return serve.RunEngine(context.Background(), EngineXStream, vol, graphName, Options{Base: opts})
 }
 
 // BFSGraphChi runs the GraphChi (parallel sliding windows) baseline
-// engine.
+// engine. Compatibility wrapper: prefer Run(ctx, EngineGraphChi, ...)
+// in new code.
 func BFSGraphChi(vol Volume, graphName string, opts EngineOptions) (*Result, error) {
-	return graphchi.Run(vol, graphName, opts)
+	return serve.RunEngine(context.Background(), EngineGraphChi, vol, graphName, Options{Base: opts})
 }
 
 // ValidateBFS checks an engine result against the graph with
@@ -165,36 +241,54 @@ func Convergence(m Meta, edges []Edge, root VertexID) ([]LevelStats, error) {
 // DiameterEstimate is the result of a sampled eccentricity sweep.
 type DiameterEstimate = algo.DiameterEstimate
 
-// EstimateDiameter lower-bounds a stored graph's diameter with repeated
-// FastBFS sweeps from random roots.
-func EstimateDiameter(vol Volume, graphName string, samples int, seed int64, opts Options) (*DiameterEstimate, error) {
-	return algo.EstimateDiameter(vol, graphName, samples, seed, opts)
+// EstimateDiameterContext lower-bounds a stored graph's diameter with
+// repeated FastBFS sweeps from random roots, cancellable through ctx.
+func EstimateDiameterContext(ctx context.Context, vol Volume, graphName string, samples int, seed int64, opts Options) (*DiameterEstimate, error) {
+	return algo.EstimateDiameterContext(ctx, vol, graphName, samples, seed, opts)
 }
 
-// ConnectedComponents runs weakly-connected-components label propagation
-// over a stored (symmetrized) graph, returning a component label per
-// vertex.
-func ConnectedComponents(vol Volume, graphName string, opts EngineOptions) ([]uint32, error) {
-	res, err := algo.Run(vol, graphName, algo.WCC{}, opts)
+// EstimateDiameter is EstimateDiameterContext without cancellation
+// (compatibility wrapper; prefer the context form in new code).
+func EstimateDiameter(vol Volume, graphName string, samples int, seed int64, opts Options) (*DiameterEstimate, error) {
+	return EstimateDiameterContext(context.Background(), vol, graphName, samples, seed, opts)
+}
+
+// ConnectedComponentsContext runs weakly-connected-components label
+// propagation over a stored (symmetrized) graph, returning a component
+// label per vertex, cancellable through ctx.
+func ConnectedComponentsContext(ctx context.Context, vol Volume, graphName string, opts EngineOptions) ([]uint32, error) {
+	res, err := algo.RunContext(ctx, vol, graphName, algo.WCC{}, opts)
 	if err != nil {
 		return nil, err
 	}
 	return algo.WCC{}.Labels(res.Values), nil
 }
 
-// PageRank runs `iterations` damped power iterations over a stored
-// graph, returning a score per vertex.
-func PageRank(vol Volume, graphName string, iterations int, opts EngineOptions) ([]float64, error) {
+// ConnectedComponents is ConnectedComponentsContext without cancellation
+// (compatibility wrapper; prefer the context form in new code).
+func ConnectedComponents(vol Volume, graphName string, opts EngineOptions) ([]uint32, error) {
+	return ConnectedComponentsContext(context.Background(), vol, graphName, opts)
+}
+
+// PageRankContext runs `iterations` damped power iterations over a
+// stored graph, returning a score per vertex, cancellable through ctx.
+func PageRankContext(ctx context.Context, vol Volume, graphName string, iterations int, opts EngineOptions) ([]float64, error) {
 	m, edges, err := graph.LoadEdges(vol, graphName)
 	if err != nil {
 		return nil, err
 	}
 	prog := algo.NewPageRank(graph.Degrees(m.Vertices, edges), iterations)
-	res, err := algo.Run(vol, graphName, prog, opts)
+	res, err := algo.RunContext(ctx, vol, graphName, prog, opts)
 	if err != nil {
 		return nil, err
 	}
 	return prog.Ranks(res.Values), nil
+}
+
+// PageRank is PageRankContext without cancellation (compatibility
+// wrapper; prefer the context form in new code).
+func PageRank(vol Volume, graphName string, iterations int, opts EngineOptions) ([]float64, error) {
+	return PageRankContext(context.Background(), vol, graphName, iterations, opts)
 }
 
 // WEdge is a weighted directed edge (SSSP).
@@ -214,25 +308,73 @@ func StoreWeighted(vol Volume, m Meta, edges []WEdge) error {
 	return graph.StoreWeighted(vol, m, edges)
 }
 
-// SSSP computes single-source shortest paths over a stored weighted
-// graph with out-of-core Bellman-Ford iterations, returning one distance
-// per vertex (InfDistance when unreached).
-func SSSP(vol Volume, graphName string, root VertexID, opts EngineOptions) ([]float32, error) {
+// SSSPContext computes single-source shortest paths over a stored
+// weighted graph with out-of-core Bellman-Ford iterations, returning one
+// distance per vertex (InfDistance when unreached), cancellable through
+// ctx.
+func SSSPContext(ctx context.Context, vol Volume, graphName string, root VertexID, opts EngineOptions) ([]float32, error) {
 	prog := algo.NewSSSP(root)
-	res, err := algo.Run(vol, graphName, prog, opts)
+	res, err := algo.RunContext(ctx, vol, graphName, prog, opts)
 	if err != nil {
 		return nil, err
 	}
 	return prog.Distances(res.Values), nil
 }
 
-// MultiSourceBFS runs a reachability sweep from several roots at once,
-// returning the hop distance per vertex (NoLevel when unreached).
-func MultiSourceBFS(vol Volume, graphName string, roots []VertexID, opts EngineOptions) ([]uint32, error) {
+// SSSP is SSSPContext without cancellation (compatibility wrapper;
+// prefer the context form in new code).
+func SSSP(vol Volume, graphName string, root VertexID, opts EngineOptions) ([]float32, error) {
+	return SSSPContext(context.Background(), vol, graphName, root, opts)
+}
+
+// MultiSourceBFSContext runs a reachability sweep from several roots at
+// once, returning the hop distance per vertex (NoLevel when unreached),
+// cancellable through ctx.
+func MultiSourceBFSContext(ctx context.Context, vol Volume, graphName string, roots []VertexID, opts EngineOptions) ([]uint32, error) {
 	prog := algo.NewMultiSourceBFS(roots)
-	res, err := algo.Run(vol, graphName, prog, opts)
+	res, err := algo.RunContext(ctx, vol, graphName, prog, opts)
 	if err != nil {
 		return nil, err
 	}
 	return prog.Levels(res.Values), nil
+}
+
+// MultiSourceBFS is MultiSourceBFSContext without cancellation
+// (compatibility wrapper; prefer the context form in new code).
+func MultiSourceBFS(vol Volume, graphName string, roots []VertexID, opts EngineOptions) ([]uint32, error) {
+	return MultiSourceBFSContext(context.Background(), vol, graphName, roots, opts)
+}
+
+// Serving: a long-lived concurrent query service over one stored graph
+// (see internal/serve and cmd/fastbfsd).
+
+type (
+	// Service serves concurrent BFS / multi-source BFS / SSSP queries
+	// over one stored graph with per-query cancellation, admission
+	// control and a result cache.
+	Service = serve.GraphService
+	// ServiceConfig tunes a Service (concurrency, queue bound, cache
+	// size, base engine options, tracer).
+	ServiceConfig = serve.Config
+	// Query is one request against a Service.
+	Query = serve.Query
+	// QueryResult is a Service query's answer.
+	QueryResult = serve.Result
+	// Algorithm selects what a Query computes.
+	Algorithm = serve.Algorithm
+	// ServiceStats is a snapshot of a Service's live counters.
+	ServiceStats = serve.Stats
+)
+
+// The query algorithms.
+const (
+	AlgoBFS   = serve.AlgoBFS
+	AlgoMSBFS = serve.AlgoMSBFS
+	AlgoSSSP  = serve.AlgoSSSP
+)
+
+// NewService opens graphName on vol for serving. A missing graph fails
+// with ErrGraphNotFound.
+func NewService(vol Volume, graphName string, cfg ServiceConfig) (*Service, error) {
+	return serve.New(vol, graphName, cfg)
 }

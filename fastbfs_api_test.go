@@ -1,0 +1,93 @@
+package fastbfs
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestPublicContextAPI covers the context-first entry points: the
+// unified Run dispatcher, cancellation surfacing ErrCancelled from every
+// layer, the sentinel taxonomy, and the embedded query service.
+func TestPublicContextAPI(t *testing.T) {
+	vol := NewMemVolume()
+	meta, edges, err := GenerateRMAT(8, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Store(vol, meta, edges); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions()
+	opts.Base.Root = 1
+	opts.Base.MemoryBudget = 4096
+	opts.Base.StreamBufSize = 256
+
+	// Run is engine dispatch: all three engines agree on reachability.
+	var visited []uint64
+	for _, e := range []Engine{EngineFastBFS, EngineXStream, EngineGraphChi} {
+		o := opts
+		o.Base.Sim = DefaultSim()
+		res, err := Run(context.Background(), e, vol, meta.Name, o)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", e, err)
+		}
+		visited = append(visited, res.Visited)
+	}
+	if visited[0] != visited[1] || visited[0] != visited[2] {
+		t.Fatalf("engines disagree: %v", visited)
+	}
+
+	// A dead context surfaces ErrCancelled (with its cause in the chain)
+	// from every context-first entry point.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if _, err := BFSContext(dead, vol, meta.Name, opts); !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("BFSContext on a dead context: %v", err)
+	}
+	if _, err := Run(dead, EngineXStream, vol, meta.Name, opts); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Run(xstream) on a dead context: %v", err)
+	}
+	if _, err := SSSPContext(dead, vol, meta.Name, 1, opts.Base); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("SSSPContext on a dead context: %v", err)
+	}
+	if _, err := MultiSourceBFSContext(dead, vol, meta.Name, []VertexID{1, 2}, opts.Base); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("MultiSourceBFSContext on a dead context: %v", err)
+	}
+
+	// Sentinel taxonomy.
+	if e, err := ParseEngine("graphchi"); err != nil || e != EngineGraphChi {
+		t.Fatalf("ParseEngine(graphchi) = %v, %v", e, err)
+	}
+	if _, err := ParseEngine("spark"); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("ParseEngine(spark): %v, want ErrBadOptions", err)
+	}
+	if _, err := LoadMeta(vol, "absent"); !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("LoadMeta(absent): %v, want ErrGraphNotFound", err)
+	}
+	o := opts
+	o.Base.Root = VertexID(meta.Vertices) + 1
+	if _, err := BFS(vol, meta.Name, o); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("BFS with an out-of-range root: %v, want ErrBadOptions", err)
+	}
+
+	// The service through the facade aliases.
+	svc, err := NewService(vol, meta.Name, ServiceConfig{Base: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Submit(context.Background(), Query{Algorithm: AlgoBFS, Root: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != visited[0] {
+		t.Fatalf("service BFS visited %d, engine run visited %d", res.Visited, visited[0])
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(context.Background(), Query{Algorithm: AlgoBFS, Root: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", err)
+	}
+}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,6 +35,12 @@ type SampleEccentricity struct {
 // motivates as a BFS building block (§IV-A). The opts' Root field is
 // overwritten per sample.
 func EstimateDiameter(vol storage.Volume, graphName string, samples int, seed int64, opts core.Options) (*DiameterEstimate, error) {
+	return EstimateDiameterContext(context.Background(), vol, graphName, samples, seed, opts)
+}
+
+// EstimateDiameterContext is EstimateDiameter with a cancellation
+// context, checked between samples and inside each underlying BFS run.
+func EstimateDiameterContext(ctx context.Context, vol storage.Volume, graphName string, samples int, seed int64, opts core.Options) (*DiameterEstimate, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("algo: need at least one sample")
 	}
@@ -56,7 +63,7 @@ func EstimateDiameter(vol storage.Volume, graphName string, samples int, seed in
 	for i := 0; i < samples; i++ {
 		root := candidates[rng.Intn(len(candidates))]
 		opts.Base.Root = root
-		res, err := core.Run(vol, graphName, opts)
+		res, err := core.RunContext(ctx, vol, graphName, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@
 package algo
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -78,8 +79,16 @@ type Result struct {
 // Run executes a Program over a stored graph with X-Stream-style
 // out-of-core streaming.
 func Run(vol storage.Volume, graphName string, prog Program, opts xstream.Options) (*Result, error) {
+	return RunContext(context.Background(), vol, graphName, prog, opts)
+}
+
+// RunContext is Run with a cancellation context: ctx is checked at
+// iteration and partition boundaries in both the scatter and gather
+// passes, and a cancelled run aborts its open update writers so no
+// working files or stream buffers are left behind.
+func RunContext(ctx context.Context, vol storage.Volume, graphName string, prog Program, opts xstream.Options) (*Result, error) {
 	opts.SetDefaults("algo_" + prog.Name())
-	rt, err := xstream.NewRuntime(vol, graphName, opts)
+	rt, err := xstream.NewRuntimeContext(ctx, vol, graphName, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -167,26 +176,45 @@ func Run(vol storage.Volume, graphName string, prog Program, opts xstream.Option
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
+		if err := rt.Checkpoint(); err != nil {
+			return nil, err
+		}
 		itRow := metrics.Iteration{Index: iter}
 
-		// Scatter pass.
+		// Scatter pass. abortShuf releases the open update writers (and
+		// their stream buffers) on every early exit, so a cancelled or
+		// failed pass leaves no half-written update files behind.
 		shuf := make([]*stream.Writer[updRec], P)
+		abortShuf := func() {
+			for _, w := range shuf {
+				if w != nil {
+					w.Abort()
+				}
+			}
+		}
 		for p := 0; p < P; p++ {
 			w, err := stream.NewWriter(rt.Vol, updFile(0, p), rt.AuxTiming(), rt.Opts.StreamBufSize, updateRecBytes, putUpdRec)
 			if err != nil {
+				abortShuf()
 				return nil, err
 			}
 			shuf[p] = w
 		}
 		var emitted int64
 		for p := 0; p < P; p++ {
+			if err := rt.Checkpoint(); err != nil {
+				abortShuf()
+				return nil, err
+			}
 			vals, err := loadVals(p)
 			if err != nil {
+				abortShuf()
 				return nil, err
 			}
 			lo, _ := rt.Parts.Interval(p)
 			sc, err := stream.NewScanner(rt.Vol, edgeFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, graph.WEdgeBytes, graph.GetWEdge)
 			if err != nil {
+				abortShuf()
 				return nil, err
 			}
 			sc.Prefetch(rt.Opts.PrefetchBuffers)
@@ -195,6 +223,7 @@ func Run(vol storage.Volume, graphName string, prog Program, opts xstream.Option
 				e, ok, err := sc.Next()
 				if err != nil {
 					sc.Close()
+					abortShuf()
 					return nil, err
 				}
 				if !ok {
@@ -205,6 +234,7 @@ func Run(vol storage.Volume, graphName string, prog Program, opts xstream.Option
 				if emit {
 					if err := shuf[rt.Parts.Of(e.Dst)].Append(updRec{dst: e.Dst, payload: payload}); err != nil {
 						sc.Close()
+						abortShuf()
 						return nil, err
 					}
 					emitted++
@@ -215,8 +245,11 @@ func Run(vol storage.Volume, graphName string, prog Program, opts xstream.Option
 			rt.Compute(float64(scanned)*rt.Costs.ScatterPerEdge + float64(emitted)*rt.Costs.AppendPerUpdate)
 			itRow.EdgesStreamed += scanned
 		}
-		for _, w := range shuf {
+		for i, w := range shuf {
 			if err := w.Close(); err != nil {
+				for _, rest := range shuf[i+1:] {
+					rest.Abort()
+				}
 				return nil, err
 			}
 			rt.BytesWritten += w.BytesWritten()
@@ -226,6 +259,9 @@ func Run(vol storage.Volume, graphName string, prog Program, opts xstream.Option
 		// Gather pass.
 		var changes uint64
 		for p := 0; p < P; p++ {
+			if err := rt.Checkpoint(); err != nil {
+				return nil, err
+			}
 			vals, err := loadVals(p)
 			if err != nil {
 				return nil, err

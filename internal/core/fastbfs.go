@@ -31,10 +31,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
+	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
 	"fastbfs/internal/obs"
@@ -119,13 +121,21 @@ type Result = xstream.Result
 
 // Run executes FastBFS over the stored graph graphName on vol.
 func Run(vol storage.Volume, graphName string, opts Options) (*Result, error) {
+	return RunContext(context.Background(), vol, graphName, opts)
+}
+
+// RunContext is Run with a cancellation context: ctx is checked at
+// iteration and partition boundaries and inside the stay writer's grace
+// wait, so a cancelled query abandons its scatter, discards pending stay
+// files and removes its working files instead of running to completion.
+func RunContext(ctx context.Context, vol storage.Volume, graphName string, opts Options) (*Result, error) {
 	opts.SetDefaults()
-	rt, err := xstream.NewRuntime(vol, graphName, opts.Base)
+	rt, err := xstream.NewRuntimeContext(ctx, vol, graphName, opts.Base)
 	if err != nil {
 		return nil, err
 	}
 	if rt.Meta.Weighted {
-		return nil, fmt.Errorf("fastbfs: BFS takes unweighted graphs; %s is weighted", graphName)
+		return nil, fmt.Errorf("fastbfs: %w: BFS takes unweighted graphs; %s is weighted", errs.ErrBadOptions, graphName)
 	}
 	defer rt.Cleanup()
 	if rt.InMemory() {
@@ -217,6 +227,7 @@ func (e *engine) run() (*Result, error) {
 	}
 	prep.Attr("edges", int64(e.rt.Meta.Edges)).End()
 	e.sw = stream.NewStayWriter(e.rt.Vol, e.opts.StayBufSize, e.opts.StayBufCount)
+	e.sw.SetContext(e.rt.Context())
 	e.sw.WaitCounter = e.ctr.BufferWaits
 	defer e.sw.Shutdown()
 	defer e.drainPending()
@@ -234,6 +245,9 @@ func (e *engine) run() (*Result, error) {
 	in, out := 0, 1
 
 	for iter := 0; iter < maxIter; iter++ {
+		if err := e.rt.Checkpoint(); err != nil {
+			return nil, err
+		}
 		itSpan := runSpan.Child("iteration").SetIter(iter)
 		e.ctr.Iteration.Set(int64(iter))
 		trimNow := e.trimActive(iter)
@@ -246,6 +260,10 @@ func (e *engine) run() (*Result, error) {
 		itRow := metrics.Iteration{Index: iter, TrimActive: trimNow}
 
 		for p := 0; p < e.rt.Parts.P(); p++ {
+			if err := e.rt.Checkpoint(); err != nil {
+				sh.Abort()
+				return nil, err
+			}
 			if err := e.iteratePartition(p, iter, trimNow, sh, &itRow, itSpan); err != nil {
 				sh.Abort()
 				return nil, err

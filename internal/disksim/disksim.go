@@ -381,6 +381,18 @@ func (d *Device) IdleAt() float64 {
 	return d.t + d.fg.backlog + d.bg.backlog
 }
 
+// Clone returns a fresh device with the same characteristics (name,
+// positioning cost, bandwidth) and zeroed usage state. Concurrent
+// engine runs each need their own device: a Device accumulates fluid
+// state and counters and must never be shared across timelines. Clone
+// of nil is nil, so optional devices clone transparently.
+func (d *Device) Clone() *Device {
+	if d == nil {
+		return nil
+	}
+	return &Device{Name: d.Name, SeekLatency: d.SeekLatency, Bandwidth: d.Bandwidth}
+}
+
 // Reset clears the device's state and counters for a fresh run.
 func (d *Device) Reset() {
 	d.t, d.busy = 0, 0

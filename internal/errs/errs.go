@@ -1,0 +1,37 @@
+// Package errs defines the sentinel errors shared by the engines, the
+// serving layer and the public fastbfs API. They live in their own
+// internal package so that internal/core, internal/xstream,
+// internal/graphchi, internal/algo and internal/serve can all produce
+// them without importing the public facade (which imports them back and
+// re-exports them as fastbfs.ErrGraphNotFound et al.).
+//
+// Callers match with errors.Is; every error returned by an engine or the
+// service wraps the appropriate sentinel plus the underlying cause, so
+// both errors.Is(err, errs.ErrCancelled) and errors.Is(err,
+// context.DeadlineExceeded) work on a deadline-expired query.
+package errs
+
+import "errors"
+
+var (
+	// ErrGraphNotFound reports that the named graph (its config or edge
+	// file) does not exist on the volume.
+	ErrGraphNotFound = errors.New("graph not found")
+
+	// ErrCancelled reports that a query's context was cancelled or its
+	// deadline expired; the wrapped cause distinguishes the two.
+	ErrCancelled = errors.New("query cancelled")
+
+	// ErrBusy reports that the service's admission control rejected a
+	// query because the in-flight limit and wait queue are both full.
+	ErrBusy = errors.New("service saturated")
+
+	// ErrBadOptions reports an invalid query or option set (root outside
+	// the vertex space, weighted graph passed to a BFS engine, unknown
+	// algorithm or engine, ...).
+	ErrBadOptions = errors.New("bad options")
+
+	// ErrClosed reports that the service is draining or closed and no
+	// longer admits queries.
+	ErrClosed = errors.New("service closed")
+)

@@ -1,9 +1,11 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"fastbfs/internal/errs"
 	"fastbfs/internal/storage"
 )
 
@@ -88,6 +90,9 @@ func LoadWEdges(vol storage.Volume, name string) (Meta, []WEdge, error) {
 func LoadMeta(vol storage.Volume, name string) (Meta, error) {
 	b, err := storage.ReadAll(vol, ConfFileName(name))
 	if err != nil {
+		if errors.Is(err, storage.ErrNotExist) {
+			return Meta{}, fmt.Errorf("graph %s: %w: %w", name, errs.ErrGraphNotFound, err)
+		}
 		return Meta{}, fmt.Errorf("graph: loading config for %s: %w", name, err)
 	}
 	m, err := ReadConfig(strings.NewReader(string(b)))
@@ -97,6 +102,9 @@ func LoadMeta(vol storage.Volume, name string) (Meta, error) {
 	// Cross-check the edge file size against the config.
 	sz, err := vol.Size(EdgeFileName(name))
 	if err != nil {
+		if errors.Is(err, storage.ErrNotExist) {
+			return Meta{}, fmt.Errorf("graph %s: %w: %w", name, errs.ErrGraphNotFound, err)
+		}
 		return Meta{}, fmt.Errorf("graph: edge file for %s: %w", name, err)
 	}
 	if uint64(sz) != m.DataBytes() {

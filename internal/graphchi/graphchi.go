@@ -29,11 +29,13 @@
 package graphchi
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
 
 	"fastbfs/internal/disksim"
+	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
 	"fastbfs/internal/obs"
@@ -74,10 +76,17 @@ func getShardRec(b []byte) shardRec {
 // Run executes GraphChi BFS over the stored graph graphName on vol,
 // which must support ranged access (both Mem and OS volumes do).
 func Run(vol storage.Volume, graphName string, opts xstream.Options) (*xstream.Result, error) {
+	return RunContext(context.Background(), vol, graphName, opts)
+}
+
+// RunContext is Run with a cancellation context: ctx is checked at pass,
+// interval and preprocessing-shard boundaries, so a cancelled query
+// abandons the PSW run and its shard files are removed by Cleanup.
+func RunContext(ctx context.Context, vol storage.Volume, graphName string, opts xstream.Options) (*xstream.Result, error) {
 	opts.SetDefaults(EngineName)
 	rv, ok := vol.(storage.RangeVolume)
 	if !ok {
-		return nil, fmt.Errorf("graphchi: volume does not support ranged access (PSW needs it)")
+		return nil, fmt.Errorf("graphchi: %w: volume does not support ranged access (PSW needs it)", errs.ErrBadOptions)
 	}
 	if opts.Partitions == 0 {
 		// GraphChi's interval count is edge-bound: the memory shard —
@@ -97,12 +106,12 @@ func Run(vol storage.Volume, graphName string, opts xstream.Options) (*xstream.R
 		}
 		opts.Partitions = p
 	}
-	rt, err := xstream.NewRuntime(vol, graphName, opts)
+	rt, err := xstream.NewRuntimeContext(ctx, vol, graphName, opts)
 	if err != nil {
 		return nil, err
 	}
 	if rt.Meta.Weighted {
-		return nil, fmt.Errorf("graphchi: BFS takes unweighted graphs; %s is weighted", graphName)
+		return nil, fmt.Errorf("graphchi: %w: BFS takes unweighted graphs; %s is weighted", errs.ErrBadOptions, graphName)
 	}
 	defer rt.Cleanup()
 	e := &engine{rt: rt, rv: rv}
@@ -166,11 +175,17 @@ func (e *engine) run() (*xstream.Result, error) {
 	}
 	var visited uint64
 	for pass := 0; pass < maxIter; pass++ {
+		if err := e.rt.Checkpoint(); err != nil {
+			return nil, err
+		}
 		itSpan := runSpan.Child("iteration").SetIter(pass)
 		e.ctr.Iteration.Set(int64(pass))
 		itRow := metrics.Iteration{Index: pass}
 		changed := false
 		for p := 0; p < P; p++ {
+			if err := e.rt.Checkpoint(); err != nil {
+				return nil, err
+			}
 			ch, scanned, newly, err := e.executeInterval(p, itSpan)
 			if err != nil {
 				return nil, err
@@ -264,6 +279,9 @@ func (e *engine) preprocess() error {
 	// Pass 2: sort each shard by source (read, in-memory sort, rewrite).
 	e.windows = make([][]int64, P)
 	for q := 0; q < P; q++ {
+		if err := rt.Checkpoint(); err != nil {
+			return err
+		}
 		data, err := storage.ReadAll(rt.Vol, e.shardFile(q))
 		if err != nil {
 			return err

@@ -458,6 +458,21 @@ const (
 	CtrPromotions      = "promotions"
 )
 
+// Counter names maintained by the query service (internal/serve). They
+// live on the service's own Tracer, not the engines': concurrent engine
+// runs are traced with a nil engine tracer (a shared one would fight
+// over SetTimeSource), while the service layer stays observable.
+const (
+	CtrServeInflight    = "serve_inflight"     // gauge: queries currently executing
+	CtrServeQueueDepth  = "serve_queue_depth"  // gauge: queries waiting for an execution slot
+	CtrServeAdmitted    = "serve_admitted"     // queries that acquired an execution slot
+	CtrServeRejected    = "serve_rejected"     // queries rejected by admission control (ErrBusy)
+	CtrServeCancelled   = "serve_cancelled"    // queries that ended cancelled or past deadline
+	CtrServeCompleted   = "serve_completed"    // queries that ran to completion
+	CtrServeCacheHits   = "serve_cache_hits"   // queries answered from the result cache
+	CtrServeCacheMisses = "serve_cache_misses" // cacheable queries that had to execute
+)
+
 // EngineCounters bundles the standard live counters an engine maintains.
 // Built from a nil Tracer, every field is the no-op counter.
 type EngineCounters struct {

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small mutex-guarded LRU result cache keyed by the normalized
+// query string. Values are *Result pointers shared with callers, which
+// is why Result documents its slices as read-only.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+// newLRU returns nil for capacity <= 0 (caching disabled); a nil *lru
+// only supports len().
+func newLRU(capacity int) *lru {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lru) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

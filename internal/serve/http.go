@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"fastbfs/internal/algo"
+	"fastbfs/internal/errs"
+	"fastbfs/internal/graph"
+)
+
+// httpQuery is the JSON request body of POST /query.
+type httpQuery struct {
+	Algorithm     string   `json:"algorithm,omitempty"`
+	Engine        string   `json:"engine,omitempty"`
+	Root          uint32   `json:"root,omitempty"`
+	Roots         []uint32 `json:"roots,omitempty"`
+	MaxIterations int      `json:"max_iterations,omitempty"`
+	// TimeoutMs bounds the query server-side (on top of the client
+	// closing the connection, which also cancels it).
+	TimeoutMs int  `json:"timeout_ms,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+	// IncludeValues returns the per-vertex arrays, which are large;
+	// without it the response carries only the summary fields.
+	IncludeValues bool `json:"include_values,omitempty"`
+}
+
+// httpResult is the JSON response body of POST /query.
+type httpResult struct {
+	Graph     string   `json:"graph"`
+	Algorithm string   `json:"algorithm"`
+	Visited   uint64   `json:"visited"`
+	Cached    bool     `json:"cached"`
+	ExecTime  float64  `json:"exec_time,omitempty"`
+	Levels    []uint32 `json:"levels,omitempty"`
+	Parents   []uint32 `json:"parents,omitempty"`
+	// Distances uses -1 for unreached vertices: the engine's +Inf
+	// sentinel is not representable in JSON.
+	Distances []float32 `json:"distances,omitempty"`
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps service errors to HTTP status codes: the sentinel
+// taxonomy is what lets the transport layer do this with errors.Is
+// instead of string matching.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errs.ErrBadOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, errs.ErrGraphNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, errs.ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errs.ErrClosed), errors.Is(err, errs.ErrCancelled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// Handler returns the service's HTTP interface:
+//
+//	POST /query   JSON httpQuery -> httpResult
+//	GET  /healthz liveness + Stats snapshot
+//
+// Saturation maps to 429, a blown server-side deadline to 504, a
+// malformed query to 400; the daemon (cmd/fastbfsd) mounts this on its
+// listener.
+func (s *GraphService) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var hq httpQuery
+	if err := json.NewDecoder(r.Body).Decode(&hq); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	engine, err := ParseEngine(hq.Engine)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	q := Query{
+		Algorithm:     Algorithm(hq.Algorithm),
+		Engine:        engine,
+		Root:          graph.VertexID(hq.Root),
+		MaxIterations: hq.MaxIterations,
+		NoCache:       hq.NoCache,
+	}
+	for _, r := range hq.Roots {
+		q.Roots = append(q.Roots, graph.VertexID(r))
+	}
+	ctx := r.Context()
+	if hq.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(hq.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.Submit(ctx, q)
+	if err != nil {
+		// A cancelled query whose cause is the server-side timeout is a
+		// gateway timeout, not a plain cancellation.
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	hr := httpResult{
+		Graph:     s.name,
+		Algorithm: string(q.Algorithm),
+		Visited:   res.Visited,
+		Cached:    res.Cached,
+		ExecTime:  res.Metrics.ExecTime,
+	}
+	if hq.IncludeValues {
+		hr.Levels = res.Levels
+		if res.Distances != nil {
+			hr.Distances = make([]float32, len(res.Distances))
+			for i, d := range res.Distances {
+				if d == algo.Inf {
+					d = -1
+				}
+				hr.Distances[i] = d
+			}
+		}
+		if res.Parents != nil {
+			hr.Parents = make([]uint32, len(res.Parents))
+			for i, p := range res.Parents {
+				hr.Parents[i] = uint32(p)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, hr)
+}
+
+func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if closed {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, struct {
+		Status string `json:"status"`
+		Graph  string `json:"graph"`
+		Stats  Stats  `json:"stats"`
+	}{Status: state, Graph: s.name, Stats: s.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

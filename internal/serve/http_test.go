@@ -1,0 +1,210 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"fastbfs/internal/algo"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/serve"
+	"fastbfs/internal/storage"
+)
+
+// HTTP transport tests: the sentinel-to-status mapping (400/404/429/504)
+// and the JSON shapes served by cmd/fastbfsd.
+
+func newHTTPService(t *testing.T, cfg serve.Config) (*storage.Mem, graph.Meta, *serve.GraphService, *httptest.Server) {
+	t.Helper()
+	vol, m := storedGraph(t)
+	cfg.Base = smallBase()
+	svc, err := serve.New(vol, m.Name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+	return vol, m, svc, ts
+}
+
+func postQuery(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestHTTPQueryAndHealth(t *testing.T) {
+	vol, m, svc, ts := newHTTPService(t, serve.Config{})
+	want := refBFS(t, serve.EngineFastBFS, vol, m.Name, 1)
+
+	resp, body := postQuery(t, ts.URL, `{"algorithm":"bfs","root":1,"include_values":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d, body %s", resp.StatusCode, body)
+	}
+	var hr struct {
+		Graph     string   `json:"graph"`
+		Algorithm string   `json:"algorithm"`
+		Visited   uint64   `json:"visited"`
+		Cached    bool     `json:"cached"`
+		Levels    []uint32 `json:"levels"`
+		Parents   []uint32 `json:"parents"`
+	}
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Graph != m.Name || hr.Algorithm != "bfs" || hr.Visited != want.Visited || hr.Cached {
+		t.Fatalf("response header fields = %+v", hr)
+	}
+	if !reflect.DeepEqual(hr.Levels, want.Levels) {
+		t.Fatal("levels over HTTP differ from the serial reference")
+	}
+	wantPar := make([]uint32, len(want.Parents))
+	for i, p := range want.Parents {
+		wantPar[i] = uint32(p)
+	}
+	if !reflect.DeepEqual(hr.Parents, wantPar) {
+		t.Fatal("parents over HTTP differ from the serial reference")
+	}
+
+	// Same query again: served from the cache.
+	if _, body := postQuery(t, ts.URL, `{"algorithm":"bfs","root":1}`); !bytes.Contains(body, []byte(`"cached":true`)) {
+		t.Fatalf("repeat query not cached: %s", body)
+	}
+	// Without include_values the big arrays are omitted.
+	if _, body := postQuery(t, ts.URL, `{"algorithm":"bfs","root":1}`); bytes.Contains(body, []byte(`"levels"`)) {
+		t.Fatalf("summary response carries value arrays: %s", body)
+	}
+
+	// SSSP distances must survive JSON: +Inf (unreached) encodes as -1.
+	wantDist := refSSSP(t, vol, m.Name, 1)
+	_, body = postQuery(t, ts.URL, `{"algorithm":"sssp","root":1,"include_values":true}`)
+	var sr struct {
+		Distances []float32 `json:"distances"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("sssp response is not JSON (%v): %.120s", err, body)
+	}
+	if len(sr.Distances) != len(wantDist) {
+		t.Fatalf("sssp distances over HTTP: %d values, want %d", len(sr.Distances), len(wantDist))
+	}
+	for i, d := range wantDist {
+		got := sr.Distances[i]
+		if d == algo.Inf {
+			if got != -1 {
+				t.Fatalf("unreached vertex %d encoded as %v, want -1", i, got)
+			}
+		} else if got != d {
+			t.Fatalf("distance[%d] = %v over HTTP, want %v", i, got, d)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string      `json:"status"`
+		Graph  string      `json:"graph"`
+		Stats  serve.Stats `json:"stats"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" || hz.Graph != m.Name || hz.Stats.Completed != 2 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, hz)
+	}
+
+	// Bad inputs map to 400; a wrong method to 405.
+	for _, body := range []string{
+		`{not json`,
+		`{"algorithm":"bfs","engine":"spark"}`,
+		`{"algorithm":"bfs","root":9999999}`,
+		`{"algorithm":"wcc"}`,
+	} {
+		if resp, b := postQuery(t, ts.URL, body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d (%s), want 400", body, resp.StatusCode, b)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/query"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d, want 405", resp.StatusCode)
+	}
+
+	// A draining service answers 503 on both endpoints.
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postQuery(t, ts.URL, `{"algorithm":"bfs","root":2}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("query during drain: status = %d, want 503", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// goPost issues the request from a helper goroutine, reporting only
+// through the channel (t must not be used off the test goroutine).
+func goPost(url, body string) chan int {
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(url+"/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			done <- 0
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	return done
+}
+
+func TestHTTPBusy(t *testing.T) {
+	vol, _, svc, ts := newHTTPService(t, serve.Config{MaxInFlight: 1, MaxQueue: -1})
+	gate := newWriteGate(vol)
+
+	done := goPost(ts.URL, `{"algorithm":"bfs","root":1}`)
+	waitFor(t, func() bool { return svc.Stats().InFlight == 1 }, "gated query in flight")
+
+	if resp, body := postQuery(t, ts.URL, `{"algorithm":"bfs","root":2}`); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated service: status = %d (%s), want 429", resp.StatusCode, body)
+	}
+	gate.release()
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("gated query finished with %d, want 200", code)
+	}
+}
+
+func TestHTTPTimeout(t *testing.T) {
+	vol, _, svc, ts := newHTTPService(t, serve.Config{})
+	gate := newWriteGate(vol)
+
+	// The gate holds the query past its 40ms server-side deadline; once
+	// released, the engine observes the dead context at its next
+	// checkpoint and the transport maps the cause to 504.
+	done := goPost(ts.URL, `{"algorithm":"bfs","root":1,"timeout_ms":40}`)
+	waitFor(t, func() bool { return svc.Stats().InFlight == 1 }, "timed query in flight")
+	time.Sleep(150 * time.Millisecond)
+	gate.release()
+	if code := <-done; code != http.StatusGatewayTimeout {
+		t.Fatalf("blown deadline: status = %d, want 504", code)
+	}
+}

@@ -1,0 +1,572 @@
+// Package serve is the long-lived query service over a stored graph:
+// it opens a graph once and serves many concurrent BFS, multi-source
+// BFS and SSSP queries against it, where each engine run in the rest of
+// the repository is a one-shot batch job.
+//
+// The service adds the three things a batch engine lacks (DESIGN.md §9):
+//
+//   - per-query deadlines and cancellation: every query carries a
+//     context.Context, which the engines poll at iteration and partition
+//     boundaries and inside the stay writer's grace wait, so a cancelled
+//     query releases its stream buffers and working files promptly;
+//   - admission control with backpressure: at most MaxInFlight queries
+//     execute at once and at most MaxQueue wait for a slot; beyond that
+//     Submit fails fast with errs.ErrBusy instead of queueing without
+//     bound;
+//   - a small LRU result cache keyed by the normalized query, so a
+//     repeated traversal from a popular root is answered without
+//     touching the engines at all.
+//
+// Concurrent queries share one volume; isolation comes from a unique
+// per-query FilePrefix, a per-query clone of the simulated-device
+// configuration (devices accumulate fluid state) and a nil engine
+// tracer (a shared tracer's time source is engine-thread-only). The
+// service keeps its own Tracer for the serve_* counters.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fastbfs/internal/algo"
+	"fastbfs/internal/core"
+	"fastbfs/internal/errs"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/graphchi"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/obs"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+// Engine selects which BFS engine executes a query.
+type Engine int
+
+const (
+	// EngineFastBFS is the paper's engine (trimming, stay files,
+	// selective scheduling) — the default.
+	EngineFastBFS Engine = iota
+	// EngineXStream is the unmodified edge-centric baseline.
+	EngineXStream
+	// EngineGraphChi is the parallel-sliding-windows baseline; it needs
+	// a volume with ranged access.
+	EngineGraphChi
+)
+
+// String returns the engine's canonical name.
+func (e Engine) String() string {
+	switch e {
+	case EngineFastBFS:
+		return "fastbfs"
+	case EngineXStream:
+		return "xstream"
+	case EngineGraphChi:
+		return "graphchi"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine maps a name ("fastbfs", "xstream", "graphchi") to an
+// Engine. Unknown names fail with errs.ErrBadOptions.
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fastbfs":
+		return EngineFastBFS, nil
+	case "xstream":
+		return EngineXStream, nil
+	case "graphchi":
+		return EngineGraphChi, nil
+	}
+	return 0, fmt.Errorf("serve: unknown engine %q: %w", s, errs.ErrBadOptions)
+}
+
+// RunEngine dispatches one BFS run to the chosen engine. It is the
+// single entry point behind fastbfs.Run and the service's executor;
+// the per-engine RunContext functions remain available for callers that
+// need engine-specific options.
+func RunEngine(ctx context.Context, engine Engine, vol storage.Volume, graphName string, opts core.Options) (*core.Result, error) {
+	switch engine {
+	case EngineFastBFS:
+		return core.RunContext(ctx, vol, graphName, opts)
+	case EngineXStream:
+		return xstream.RunContext(ctx, vol, graphName, opts.Base)
+	case EngineGraphChi:
+		return graphchi.RunContext(ctx, vol, graphName, opts.Base)
+	}
+	return nil, fmt.Errorf("serve: unknown engine %d: %w", int(engine), errs.ErrBadOptions)
+}
+
+// Algorithm selects what a query computes.
+type Algorithm string
+
+const (
+	// AlgoBFS is single-source BFS (levels + parents).
+	AlgoBFS Algorithm = "bfs"
+	// AlgoMSBFS is multi-source BFS: levels are distances to the nearest
+	// root. It always runs on the generalized algo engine.
+	AlgoMSBFS Algorithm = "msbfs"
+	// AlgoSSSP is single-source shortest paths (Bellman-Ford
+	// iterations); unweighted graphs get unit weights.
+	AlgoSSSP Algorithm = "sssp"
+)
+
+// Query is one request against the service's graph.
+type Query struct {
+	// Algorithm defaults to AlgoBFS when empty.
+	Algorithm Algorithm
+	// Engine picks the BFS engine; ignored (normalized to the default)
+	// for AlgoMSBFS and AlgoSSSP, which run on the algo engine.
+	Engine Engine
+	// Root is the source vertex for AlgoBFS and AlgoSSSP.
+	Root graph.VertexID
+	// Roots are the sources for AlgoMSBFS; order and duplicates do not
+	// affect the result, so they are sorted and deduplicated.
+	Roots []graph.VertexID
+	// MaxIterations caps the iteration count (0 = no cap).
+	MaxIterations int
+	// NoCache bypasses the result cache for this query, both lookup and
+	// store.
+	NoCache bool
+}
+
+// Result is a query's answer. The slices are shared with the service's
+// result cache: treat them as read-only.
+type Result struct {
+	// Levels and Parents are set for AlgoBFS and AlgoMSBFS.
+	Levels  []uint32
+	Parents []graph.VertexID
+	// Distances is set for AlgoSSSP (algo.Inf = unreached).
+	Distances []float32
+	// Visited counts reached vertices.
+	Visited uint64
+	// Metrics is the underlying engine run's measurement record (zero
+	// for cache hits, which run no engine).
+	Metrics metrics.Run
+	// Cached reports that the answer came from the result cache.
+	Cached bool
+}
+
+// Config tunes a GraphService.
+type Config struct {
+	// MaxInFlight is the number of queries executing concurrently.
+	// Default 4.
+	MaxInFlight int
+	// MaxQueue is the number of queries allowed to wait for an execution
+	// slot before Submit fails with errs.ErrBusy. Default 2*MaxInFlight.
+	// Negative means no waiting: reject as soon as every slot is busy.
+	MaxQueue int
+	// CacheEntries sizes the LRU result cache. Default 64; negative
+	// disables caching.
+	CacheEntries int
+	// Base is the engine configuration applied to every query (memory
+	// budget, threads, simulation, trim policy...). Per-query fields —
+	// Root, MaxIterations, FilePrefix, Tracer, Sim (cloned) — are
+	// overwritten by the service.
+	Base core.Options
+	// Tracer receives the service's serve_* counters (admissions,
+	// rejections, queue depth, cache traffic). When nil the service keeps
+	// a private sink-less tracer so Stats still works.
+	Tracer *obs.Tracer
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 1
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+}
+
+// serveCounters are the service's live obs counters (no-ops on a nil
+// Tracer).
+type serveCounters struct {
+	inflight    *obs.Counter
+	queueDepth  *obs.Counter
+	admitted    *obs.Counter
+	rejected    *obs.Counter
+	cancelled   *obs.Counter
+	completed   *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+}
+
+// GraphService serves concurrent queries over one stored graph.
+type GraphService struct {
+	vol  storage.Volume
+	name string
+	meta graph.Meta
+	cfg  Config
+
+	tr  *obs.Tracer
+	ctr serveCounters
+
+	// sem holds one token per executing query (admission control).
+	sem chan struct{}
+	// seq numbers queries for their unique working-file prefixes.
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	waiting int           // queries blocked on sem, bounded by MaxQueue
+	closed  bool          // no new Submits
+	closing chan struct{} // closed by Shutdown; wakes waiters
+	wg      sync.WaitGroup
+
+	cache *lru
+}
+
+// New opens graphName on vol for serving. The graph's metadata is
+// validated once here; a missing graph fails with errs.ErrGraphNotFound.
+func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error) {
+	cfg.setDefaults()
+	m, err := graph.LoadMeta(vol, graphName)
+	if err != nil {
+		return nil, err
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		// Counters back Stats and the health endpoint, so they must exist
+		// even when the caller wires no observability; a sink-less tracer
+		// owns no resources and needs no Close.
+		tr = obs.New()
+	}
+	s := &GraphService{
+		vol:     vol,
+		name:    graphName,
+		meta:    m,
+		cfg:     cfg,
+		tr:      tr,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		closing: make(chan struct{}),
+		cache:   newLRU(cfg.CacheEntries),
+	}
+	s.ctr = serveCounters{
+		inflight:    s.tr.Counter(obs.CtrServeInflight),
+		queueDepth:  s.tr.Counter(obs.CtrServeQueueDepth),
+		admitted:    s.tr.Counter(obs.CtrServeAdmitted),
+		rejected:    s.tr.Counter(obs.CtrServeRejected),
+		cancelled:   s.tr.Counter(obs.CtrServeCancelled),
+		completed:   s.tr.Counter(obs.CtrServeCompleted),
+		cacheHits:   s.tr.Counter(obs.CtrServeCacheHits),
+		cacheMisses: s.tr.Counter(obs.CtrServeCacheMisses),
+	}
+	return s, nil
+}
+
+// Graph returns the served graph's metadata.
+func (s *GraphService) Graph() graph.Meta { return s.meta }
+
+// Submit runs one query, blocking until it completes, fails, is
+// cancelled, or cannot be admitted. Errors are matchable with errors.Is
+// against the errs sentinels: ErrBadOptions (malformed query), ErrBusy
+// (admission control), ErrCancelled (ctx cancelled or past deadline —
+// the ctx cause is in the same chain), ErrClosed (service shut down).
+func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nq, key, err := s.normalize(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register with the drain group before anything else so Shutdown
+	// waits for queries already inside Submit, including waiters.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	useCache := s.cache != nil && !nq.NoCache
+	if useCache {
+		if res, ok := s.cache.get(key); ok {
+			s.ctr.cacheHits.Add(1)
+			hit := *res
+			hit.Cached = true
+			return &hit, nil
+		}
+		s.ctr.cacheMisses.Add(1)
+	}
+
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	s.ctr.admitted.Add(1)
+	s.ctr.inflight.Add(1)
+	defer func() {
+		s.ctr.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	res, err := s.execute(ctx, nq)
+	if err != nil {
+		if errors.Is(err, errs.ErrCancelled) || ctx.Err() != nil {
+			s.ctr.cancelled.Add(1)
+		}
+		return nil, err
+	}
+	s.ctr.completed.Add(1)
+	if useCache {
+		s.cache.put(key, res)
+	}
+	return res, nil
+}
+
+// admit acquires an execution slot, waiting in the bounded queue when
+// every slot is busy. It fails with errs.ErrBusy when the queue is full,
+// errs.ErrCancelled when ctx dies while waiting, and errs.ErrClosed when
+// the service shuts down under the waiter.
+func (s *GraphService) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
+	}
+	if queued := s.waiting; queued >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		s.ctr.rejected.Add(1)
+		return fmt.Errorf("serve: %s: %d in flight, %d queued: %w", s.name, s.cfg.MaxInFlight, queued, errs.ErrBusy)
+	}
+	s.waiting++
+	s.ctr.queueDepth.Set(int64(s.waiting))
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.waiting--
+		s.ctr.queueDepth.Set(int64(s.waiting))
+		s.mu.Unlock()
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.ctr.cancelled.Add(1)
+		return fmt.Errorf("serve: %s: queued query: %w: %w", s.name, errs.ErrCancelled, context.Cause(ctx))
+	case <-s.closing:
+		return fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
+	}
+}
+
+// normalize validates a query against the graph and produces its
+// canonical form plus cache key.
+func (s *GraphService) normalize(q Query) (Query, string, error) {
+	if q.Algorithm == "" {
+		q.Algorithm = AlgoBFS
+	}
+	if q.MaxIterations < 0 {
+		return q, "", fmt.Errorf("serve: negative MaxIterations %d: %w", q.MaxIterations, errs.ErrBadOptions)
+	}
+	checkRoot := func(v graph.VertexID) error {
+		if uint64(v) >= s.meta.Vertices {
+			return fmt.Errorf("serve: root %d outside vertex space [0,%d): %w", v, s.meta.Vertices, errs.ErrBadOptions)
+		}
+		return nil
+	}
+	switch q.Algorithm {
+	case AlgoBFS:
+		if len(q.Roots) > 0 {
+			return q, "", fmt.Errorf("serve: bfs takes Root, not Roots: %w", errs.ErrBadOptions)
+		}
+		if s.meta.Weighted {
+			return q, "", fmt.Errorf("serve: bfs takes unweighted graphs; %s is weighted (use sssp): %w", s.name, errs.ErrBadOptions)
+		}
+		if err := checkRoot(q.Root); err != nil {
+			return q, "", err
+		}
+		switch q.Engine {
+		case EngineFastBFS, EngineXStream:
+		case EngineGraphChi:
+			if _, ok := s.vol.(storage.RangeVolume); !ok {
+				return q, "", fmt.Errorf("serve: graphchi needs a volume with ranged access: %w", errs.ErrBadOptions)
+			}
+		default:
+			return q, "", fmt.Errorf("serve: unknown engine %d: %w", int(q.Engine), errs.ErrBadOptions)
+		}
+	case AlgoMSBFS:
+		if len(q.Roots) == 0 {
+			return q, "", fmt.Errorf("serve: msbfs needs at least one root: %w", errs.ErrBadOptions)
+		}
+		if s.meta.Weighted {
+			return q, "", fmt.Errorf("serve: msbfs takes unweighted graphs; %s is weighted: %w", s.name, errs.ErrBadOptions)
+		}
+		roots := append([]graph.VertexID(nil), q.Roots...)
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		roots = roots[:uniq(roots)]
+		for _, r := range roots {
+			if err := checkRoot(r); err != nil {
+				return q, "", err
+			}
+		}
+		q.Roots = roots
+		q.Root = 0
+		q.Engine = EngineFastBFS // runs on the algo engine; unify cache keys
+	case AlgoSSSP:
+		if len(q.Roots) > 0 {
+			return q, "", fmt.Errorf("serve: sssp takes Root, not Roots: %w", errs.ErrBadOptions)
+		}
+		if err := checkRoot(q.Root); err != nil {
+			return q, "", err
+		}
+		q.Engine = EngineFastBFS
+	default:
+		return q, "", fmt.Errorf("serve: unknown algorithm %q: %w", q.Algorithm, errs.ErrBadOptions)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d|%d|", q.Algorithm, q.Engine, q.Root, q.MaxIterations)
+	for _, r := range q.Roots {
+		fmt.Fprintf(&b, "%d,", r)
+	}
+	return q, b.String(), nil
+}
+
+// uniq compacts a sorted slice in place, returning the new length.
+func uniq(vs []graph.VertexID) int {
+	n := 0
+	for i, v := range vs {
+		if i == 0 || v != vs[n-1] {
+			vs[n] = v
+			n++
+		}
+	}
+	return n
+}
+
+// queryOpts builds the per-query engine options: the shared Base with a
+// unique file prefix, a cloned device simulation and no engine tracer
+// (concurrent runs cannot share the tracer's time source).
+func (s *GraphService) queryOpts(q Query) core.Options {
+	opts := s.cfg.Base
+	opts.Base.Root = q.Root
+	opts.Base.MaxIterations = q.MaxIterations
+	opts.Base.FilePrefix = fmt.Sprintf("q%d_%s", s.seq.Add(1), q.Algorithm)
+	opts.Base.Sim = opts.Base.Sim.Clone()
+	opts.Base.Tracer = nil
+	opts.Base.KeepFiles = false
+	return opts
+}
+
+// execute runs the normalized query on the right engine.
+func (s *GraphService) execute(ctx context.Context, q Query) (*Result, error) {
+	opts := s.queryOpts(q)
+	switch q.Algorithm {
+	case AlgoBFS:
+		res, err := RunEngine(ctx, q.Engine, s.vol, s.name, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Levels: res.Levels, Parents: res.Parents, Visited: res.Visited, Metrics: res.Metrics}, nil
+	case AlgoMSBFS:
+		prog := algo.NewMultiSourceBFS(q.Roots)
+		res, err := algo.RunContext(ctx, s.vol, s.name, prog, opts.Base)
+		if err != nil {
+			return nil, err
+		}
+		levels := prog.Levels(res.Values)
+		out := &Result{Levels: levels, Parents: prog.Parents(res.Values), Metrics: res.Metrics}
+		for _, l := range levels {
+			if l != algo.NoLevel {
+				out.Visited++
+			}
+		}
+		return out, nil
+	case AlgoSSSP:
+		prog := algo.NewSSSP(q.Root)
+		res, err := algo.RunContext(ctx, s.vol, s.name, prog, opts.Base)
+		if err != nil {
+			return nil, err
+		}
+		dists := prog.Distances(res.Values)
+		out := &Result{Distances: dists, Metrics: res.Metrics}
+		for _, d := range dists {
+			if d != algo.Inf {
+				out.Visited++
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("serve: unknown algorithm %q: %w", q.Algorithm, errs.ErrBadOptions)
+}
+
+// Shutdown drains the service: new Submits fail with errs.ErrClosed,
+// queued waiters are woken with the same error, and Shutdown returns
+// once every in-flight query has finished — or ctx expires first, in
+// which case queries keep draining in the background (their own
+// contexts still apply).
+func (s *GraphService) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closing)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: %s: drain interrupted: %w", s.name, context.Cause(ctx))
+	}
+}
+
+// Close is Shutdown with no deadline.
+func (s *GraphService) Close() error { return s.Shutdown(context.Background()) }
+
+// Stats is a point-in-time snapshot of the service counters, readable
+// while queries run (the debug page renders it).
+type Stats struct {
+	InFlight    int64 `json:"in_flight"`
+	QueueDepth  int64 `json:"queue_depth"`
+	Admitted    int64 `json:"admitted"`
+	Rejected    int64 `json:"rejected"`
+	Cancelled   int64 `json:"cancelled"`
+	Completed   int64 `json:"completed"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int64 `json:"cache_size"`
+}
+
+// Stats reads the current counter values.
+func (s *GraphService) Stats() Stats {
+	return Stats{
+		InFlight:    s.ctr.inflight.Value(),
+		QueueDepth:  s.ctr.queueDepth.Value(),
+		Admitted:    s.ctr.admitted.Value(),
+		Rejected:    s.ctr.rejected.Value(),
+		Cancelled:   s.ctr.cancelled.Value(),
+		Completed:   s.ctr.completed.Value(),
+		CacheHits:   s.ctr.cacheHits.Value(),
+		CacheMisses: s.ctr.cacheMisses.Value(),
+		CacheSize:   int64(s.cache.len()),
+	}
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,13 @@ type StayWriter struct {
 	// WaitCounter, when non-nil, mirrors bufferWaits into a live
 	// observability counter (engine-thread only, like flushAsync).
 	WaitCounter *obs.Counter
+
+	// ctx is the owning query's context (never nil; defaults to
+	// Background). A cancelled context short-circuits wall-clock grace
+	// waits in TryUse so a dead query stops waiting for late stay
+	// writes and discards them — releasing the private buffers and the
+	// temp file — instead of burning its grace period.
+	ctx context.Context
 }
 
 type stayOp int
@@ -84,10 +92,19 @@ func NewStayWriter(vol storage.Volume, bufSize, bufCount int) *StayWriter {
 		bufSize:  bufSize,
 		bufCount: bufCount,
 		tasks:    make(chan stayTask, bufCount),
+		ctx:      context.Background(),
 	}
 	sw.wg.Add(1)
 	go sw.run()
 	return sw
+}
+
+// SetContext binds the writer to the owning query's cancellation
+// context. Call before the first Begin; a nil ctx keeps Background.
+func (sw *StayWriter) SetContext(ctx context.Context) {
+	if ctx != nil {
+		sw.ctx = ctx
+	}
 }
 
 func (sw *StayWriter) run() {
@@ -255,16 +272,22 @@ func (f *StayFile) Use() error {
 
 // TryUse waits up to timeout (wall-clock) for the background write to
 // finish. It returns (true, write error) if the data is ready, and
-// (false, nil) if the grace period expired — the caller should then
-// Discard, which is the paper's cancellation path in real-disk mode.
+// (false, nil) if the grace period expired or the owning query's
+// context was cancelled — the caller should then Discard, which is the
+// paper's cancellation path in real-disk mode (and, for a cancelled
+// query, what releases the buffers and removes the temp file).
 func (f *StayFile) TryUse(timeout time.Duration) (bool, error) {
 	if !f.closed {
 		return false, fmt.Errorf("stream: TryUse before Close of stay file %s", f.name)
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case <-f.dataDone:
 		return true, f.err
-	case <-time.After(timeout):
+	case <-f.sw.ctx.Done():
+		return false, nil
+	case <-timer.C:
 		return false, nil
 	}
 }

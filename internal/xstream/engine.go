@@ -1,8 +1,10 @@
 package xstream
 
 import (
+	"context"
 	"fmt"
 
+	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
 	"fastbfs/internal/obs"
@@ -29,13 +31,21 @@ const EngineName = "xstream"
 // exploit sequential disk bandwidth" (§IV-B1). That is the baseline
 // behaviour FastBFS improves on.
 func Run(vol storage.Volume, graphName string, opts Options) (*Result, error) {
+	return RunContext(context.Background(), vol, graphName, opts)
+}
+
+// RunContext is Run bound to a cancellation context: the engine polls
+// ctx at iteration and partition boundaries and returns an error
+// wrapping errs.ErrCancelled once it is done, with every working file
+// and stream buffer released.
+func RunContext(ctx context.Context, vol storage.Volume, graphName string, opts Options) (*Result, error) {
 	opts.SetDefaults(EngineName)
-	rt, err := NewRuntime(vol, graphName, opts)
+	rt, err := NewRuntimeContext(ctx, vol, graphName, opts)
 	if err != nil {
 		return nil, err
 	}
 	if rt.Meta.Weighted {
-		return nil, fmt.Errorf("xstream: BFS takes unweighted graphs; %s is weighted", graphName)
+		return nil, fmt.Errorf("xstream: BFS takes unweighted graphs; %s is weighted: %w", graphName, errs.ErrBadOptions)
 	}
 	defer rt.Cleanup()
 	if rt.InMemory() {
@@ -65,6 +75,9 @@ func runStreaming(rt *Runtime) (*Result, error) {
 	var visited uint64
 
 	for iter := 0; iter < maxIter; iter++ {
+		if err := rt.Checkpoint(); err != nil {
+			return nil, err
+		}
 		itSpan := runSpan.Child("iteration").SetIter(iter)
 		ctr.Iteration.Set(int64(iter))
 		sh, err := stream.NewShuffler(rt.Vol, rt.Parts, rt.AuxTiming(), rt.Opts.StreamBufSize,
@@ -76,6 +89,10 @@ func runStreaming(rt *Runtime) (*Result, error) {
 		itRow := metrics.Iteration{Index: iter}
 
 		for p := 0; p < rt.Parts.P(); p++ {
+			if err := rt.Checkpoint(); err != nil {
+				sh.Abort()
+				return nil, err
+			}
 			// Open the scatter input ahead of the gather so its
 			// read-ahead overlaps the update streaming (the prototype's
 			// "several stream buffers for reading edges and writing
@@ -360,6 +377,9 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 	pool.BusyCounter = ctr.ScatterBusyNs
 	ctr.ScatterWorkers.Set(int64(pool.Workers()))
 	for iter := uint32(0); int(iter) < maxIter; iter++ {
+		if err := rt.Checkpoint(); err != nil {
+			return nil, err
+		}
 		itSpan := runSpan.Child("iteration").SetIter(int(iter))
 		ctr.Iteration.Set(int64(iter))
 		itRow := metrics.Iteration{Index: int(iter), Frontier: 0}

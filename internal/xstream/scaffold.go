@@ -17,6 +17,7 @@
 package xstream
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"fastbfs/internal/disksim"
+	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/metrics"
 	"fastbfs/internal/obs"
@@ -71,6 +73,24 @@ func DefaultSim() *SimConfig {
 		CPU:      disksim.DefaultCPU(),
 		Costs:    disksim.DefaultCosts(),
 		MainDisk: disksim.HDD("hdd0"),
+	}
+}
+
+// Clone returns a deep copy of the simulation configuration with fresh
+// (zero-state) devices. A disksim.Device accumulates fluid state and
+// traffic counters during a run, so concurrent engine runs must never
+// share one; the serving layer clones the configured SimConfig per
+// query. Clone of nil is nil (wall-clock mode passes through).
+func (s *SimConfig) Clone() *SimConfig {
+	if s == nil {
+		return nil
+	}
+	return &SimConfig{
+		CPU:      s.CPU,
+		Costs:    s.Costs,
+		MainDisk: s.MainDisk.Clone(),
+		AuxDisk:  s.AuxDisk.Clone(),
+		StayDisk: s.StayDisk.Clone(),
 	}
 }
 
@@ -184,6 +204,10 @@ type Runtime struct {
 	Parts *graph.Partitioning
 	Opts  Options
 
+	// ctx is the run's cancellation context (never nil). Engines poll it
+	// through Checkpoint at iteration and partition boundaries.
+	ctx context.Context
+
 	Clock *disksim.Clock
 	Costs disksim.Costs
 
@@ -209,6 +233,25 @@ type Runtime struct {
 // obs methods are no-ops on nil).
 func (rt *Runtime) Tracer() *obs.Tracer { return rt.Opts.Tracer }
 
+// Context returns the run's cancellation context (never nil).
+func (rt *Runtime) Context() context.Context { return rt.ctx }
+
+// Checkpoint polls the run's context: it returns nil while the run may
+// continue, and an error wrapping both errs.ErrCancelled and the
+// context's cause once the query is cancelled or past its deadline.
+// Engines call it at iteration and partition boundaries — the points
+// where abandoning the run leaves no half-written state behind (the
+// deferred Cleanup and stay-writer drain then release buffers and
+// working files).
+func (rt *Runtime) Checkpoint() error {
+	select {
+	case <-rt.ctx.Done():
+		return fmt.Errorf("%s: %w: %w", rt.Opts.FilePrefix, errs.ErrCancelled, context.Cause(rt.ctx))
+	default:
+		return nil
+	}
+}
+
 // RegisterReady records a file's write-behind barrier.
 func (rt *Runtime) RegisterReady(name string, op *disksim.AsyncOp) {
 	if op == nil {
@@ -231,14 +274,23 @@ func (rt *Runtime) AwaitFile(name string) {
 }
 
 // NewRuntime validates options against a stored graph and prepares the
-// shared run state.
+// shared run state with a background (never-cancelled) context.
 func NewRuntime(vol storage.Volume, graphName string, opts Options) (*Runtime, error) {
+	return NewRuntimeContext(context.Background(), vol, graphName, opts)
+}
+
+// NewRuntimeContext is NewRuntime bound to a cancellation context: the
+// run's engine observes ctx through Runtime.Checkpoint.
+func NewRuntimeContext(ctx context.Context, vol storage.Volume, graphName string, opts Options) (*Runtime, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m, err := graph.LoadMeta(vol, graphName)
 	if err != nil {
 		return nil, err
 	}
 	if uint64(opts.Root) >= m.Vertices {
-		return nil, fmt.Errorf("xstream: root %d outside vertex space [0,%d)", opts.Root, m.Vertices)
+		return nil, fmt.Errorf("xstream: root %d outside vertex space [0,%d): %w", opts.Root, m.Vertices, errs.ErrBadOptions)
 	}
 	p := opts.Partitions
 	if p <= 0 {
@@ -251,7 +303,7 @@ func NewRuntime(vol storage.Volume, graphName string, opts Options) (*Runtime, e
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{Vol: vol, Meta: m, Parts: parts, Opts: opts,
+	rt := &Runtime{Vol: vol, Meta: m, Parts: parts, Opts: opts, ctx: ctx,
 		fileReady: make(map[string]*disksim.AsyncOp), wallStart: time.Now()}
 	if opts.Sim != nil {
 		if opts.Sim.MainDisk == nil {
