@@ -9,6 +9,7 @@
 //	        [-mem 1073741824] [-threads 4] [-workers N] [-sim] [-simscale 2048]
 //	        [-twodisks] [-ssd] [-trimstart 0] [-notrim] [-noselsched]
 //	        [-residency-budget 64M]
+//	        [-checkpoint CKDIR] [-resume]
 //	        [-report] [-validate] [-quiet]
 //	        [-tracefile trace.jsonl] [-debugaddr localhost:6060]
 //	fastbfs -dir DATA -graph rmat20 -config run.conf
@@ -16,7 +17,15 @@
 // A -config file carries the paper's runtime settings (engine, budgets,
 // trim policy, additional disk location) in the same key=value format as
 // the dataset configuration; command-line flags are ignored when it is
-// given, except -report, -validate and the observability flags.
+// given, except -report, -validate, -checkpoint, -resume and the
+// observability flags.
+//
+// Fault tolerance: -checkpoint names a directory where the FastBFS
+// engine persists a crash-consistent manifest after every completed
+// iteration; re-running the same command with -resume restarts a killed
+// run at the last completed iteration with byte-identical output. I/O
+// failures past the retry budget and detected data corruption exit with
+// code 4.
 //
 // Observability: each BFS iteration prints a one-line progress update to
 // stderr (suppress with -quiet). -tracefile writes a JSONL span/counter
@@ -65,6 +74,8 @@ func main() {
 	residency := flag.String("residency-budget", "", "fastbfs: resident-partition cache budget (bytes with K/M/G suffix, 0/off, or unbounded; empty = FASTBFS_RESIDENCY env)")
 	noTrim := flag.Bool("notrim", false, "fastbfs: disable trimming")
 	noSelSched := flag.Bool("noselsched", false, "fastbfs: disable selective scheduling")
+	checkpoint := flag.String("checkpoint", "", "fastbfs: persist a crash-consistent checkpoint manifest to this directory after every iteration")
+	resume := flag.Bool("resume", false, "fastbfs: resume from the -checkpoint directory's manifest (fresh run when there is none)")
 	report := flag.Bool("report", false, "print the full per-iteration report")
 	validate := flag.Bool("validate", false, "validate the BFS tree against the edge list (loads it in memory)")
 	configPath := flag.String("config", "", "runtime-settings file (overrides the other flags)")
@@ -88,8 +99,13 @@ func main() {
 	}
 	defer ob.close()
 
+	ckVol, err := checkpointVolume(*checkpoint, *resume)
+	if err != nil {
+		fail(err)
+	}
+
 	if *configPath != "" {
-		runFromConfig(vol, *name, *configPath, *report, *validate, ob)
+		runFromConfig(vol, *name, *configPath, *report, *validate, ob, ckVol, *resume)
 		return
 	}
 	opts := xstream.Options{
@@ -131,6 +147,8 @@ func main() {
 		DisableTrimming:            *noTrim,
 		DisableSelectiveScheduling: *noSelSched,
 		ResidencyBudget:            budget,
+		CheckpointVol:              ckVol,
+		Resume:                     *resume,
 	})
 	if err != nil {
 		fail(err)
@@ -142,8 +160,21 @@ func main() {
 	}
 }
 
+// checkpointVolume opens the -checkpoint directory as a volume;
+// -resume without -checkpoint is a usage error. Returns a nil volume
+// (checkpointing off) when no directory was named.
+func checkpointVolume(dir string, resume bool) (storage.Volume, error) {
+	if dir == "" {
+		if resume {
+			return nil, fmt.Errorf("-resume needs -checkpoint to name the manifest directory: %w", errs.ErrBadOptions)
+		}
+		return nil, nil
+	}
+	return storage.NewOS(dir)
+}
+
 // runFromConfig executes a run described by a runtime-settings file.
-func runFromConfig(vol storage.Volume, name, path string, report, validate bool, ob *observability) {
+func runFromConfig(vol storage.Volume, name, path string, report, validate bool, ob *observability, ckVol storage.Volume, resume bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -160,6 +191,8 @@ func runFromConfig(vol storage.Volume, name, path string, report, validate bool,
 	}
 	co := cfg.CoreOptions()
 	co.Base.Tracer = ob.tracer
+	co.CheckpointVol = ckVol
+	co.Resume = resume
 	res, err := serve.RunEngine(context.Background(), eng, vol, name, co)
 	if err != nil {
 		fail(err)
@@ -300,7 +333,8 @@ func (ob *observability) progressPage(w http.ResponseWriter, r *http.Request) {
 
 // fail exits with a code derived from the error's sentinel: 2 for a
 // malformed request (bad flags, unknown engine, root out of range), 3
-// for a missing graph, 1 otherwise.
+// for a missing graph, 4 for an I/O failure past the retry budget or
+// detected data corruption, 1 otherwise.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "fastbfs:", err)
 	switch {
@@ -308,6 +342,8 @@ func fail(err error) {
 		os.Exit(2)
 	case errors.Is(err, errs.ErrGraphNotFound):
 		os.Exit(3)
+	case errors.Is(err, errs.ErrIOFailed), errors.Is(err, errs.ErrCorrupted):
+		os.Exit(4)
 	}
 	os.Exit(1)
 }

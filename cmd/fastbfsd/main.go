@@ -181,6 +181,8 @@ func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
 		fmt.Fprintf(w, "%-22s %d\n", "cache_hits", st.CacheHits)
 		fmt.Fprintf(w, "%-22s %d\n", "cache_misses", st.CacheMisses)
 		fmt.Fprintf(w, "%-22s %d\n", "cache_size", st.CacheSize)
+		fmt.Fprintf(w, "%-22s %d\n", "io_retries", st.IORetries)
+		fmt.Fprintf(w, "%-22s %d\n", "io_failures", st.IOFailures)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -191,7 +193,7 @@ func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
 }
 
 // fail mirrors cmd/fastbfs: exit 2 for malformed input, 3 for a missing
-// graph, 1 otherwise.
+// graph, 4 for an I/O failure or detected corruption, 1 otherwise.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "fastbfsd:", err)
 	switch {
@@ -199,6 +201,8 @@ func fail(err error) {
 		os.Exit(2)
 	case errors.Is(err, errs.ErrGraphNotFound):
 		os.Exit(3)
+	case errors.Is(err, errs.ErrIOFailed), errors.Is(err, errs.ErrCorrupted):
+		os.Exit(4)
 	}
 	os.Exit(1)
 }

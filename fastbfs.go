@@ -38,7 +38,8 @@
 // selected by the Engine enum through Run; BFS, BFSXStream and
 // BFSGraphChi are one-line conveniences over it. Failures are matchable
 // with errors.Is against the exported sentinels (ErrGraphNotFound,
-// ErrBadOptions, ErrCancelled, ErrBusy, ErrClosed).
+// ErrBadOptions, ErrCancelled, ErrBusy, ErrClosed, ErrCorrupted,
+// ErrIOFailed).
 //
 // # Serving
 //
@@ -84,6 +85,12 @@ var (
 	ErrBusy = errs.ErrBusy
 	// ErrClosed: the query service is shut down or draining.
 	ErrClosed = errs.ErrClosed
+	// ErrCorrupted: stored data failed a checksum or structural check
+	// (torn frame, bad CRC, invalid checkpoint manifest).
+	ErrCorrupted = errs.ErrCorrupted
+	// ErrIOFailed: an I/O operation failed past the transient-retry
+	// budget, or failed permanently.
+	ErrIOFailed = errs.ErrIOFailed
 )
 
 // Core graph types.

@@ -315,7 +315,7 @@ func RunContext(ctx context.Context, vol storage.Volume, graphName string, prog 
 	// Collect final values (uncharged, like the engines' result dump).
 	res := &Result{Values: make([]uint64, rt.Meta.Vertices)}
 	for p := 0; p < P; p++ {
-		b, err := storage.ReadAll(rt.Vol, vertexFile(p))
+		b, err := stream.ReadAll(rt.Vol, vertexFile(p), rt.Retry)
 		if err != nil {
 			return nil, err
 		}

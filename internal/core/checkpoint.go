@@ -1,0 +1,300 @@
+// Crash-consistent checkpointing (DESIGN.md §10). After every completed
+// iteration the engine persists a manifest describing exactly the state
+// a resumed run needs: the last completed iteration, each partition's
+// current edge input (and fallback), vertex-state generation and update
+// count, plus the run-level counters and per-iteration metric rows. The
+// manifest is written atomically — temp file, Sync when the volume
+// supports it, rename — so a crash leaves either the previous manifest
+// or the new one, never a torn mix, and its JSON body travels inside a
+// single CRC32-C frame so at-rest corruption is detected rather than
+// deserialized.
+//
+// The recovery invariants the manifest relies on:
+//
+//   - files named by a manifest are never mutated or deleted until the
+//     NEXT manifest is durable (deferred deletions via the engine's
+//     graveyard; vertex state and stay files use per-generation names);
+//   - a stay file pending at crash time was never adopted, so losing it
+//     is the grace-and-cancel path: the recorded input is a superset;
+//   - update files written by the crashed iteration belong to the set
+//     the resumed iteration re-creates (truncate-on-create), while the
+//     set it reads was sealed by the last completed iteration.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"fastbfs/internal/errs"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/stream"
+)
+
+// manifestVersion guards the manifest schema; a mismatch is treated as
+// corruption rather than guessed at.
+const manifestVersion = 1
+
+// manifestName is the manifest's file name on the checkpoint volume.
+const manifestName = "manifest"
+
+// manifestPart is one partition's recoverable state.
+type manifestPart struct {
+	// Input is the partition's current edge-input file on the working
+	// volume; InputRole names the simulated device it lives on ("main",
+	// "aux" or "stay") so resume can rebuild its Timing.
+	Input     string `json:"input"`
+	InputRole string `json:"input_role,omitempty"`
+	// Fallback, when set, is the superseded input still held until the
+	// adopted stay file survives a full verified read.
+	Fallback     string `json:"fallback,omitempty"`
+	FallbackRole string `json:"fallback_role,omitempty"`
+	// VertexFile is the partition's current vertex-state generation.
+	VertexFile string `json:"vertex_file"`
+	// Updates is the partition's incoming update count from the last
+	// completed iteration (drives selective scheduling on resume).
+	Updates int64 `json:"updates"`
+	// StayBroken records that stay writing is degraded off for this
+	// partition after a permanent write failure.
+	StayBroken bool `json:"stay_broken,omitempty"`
+}
+
+// checkpointManifest is the durable snapshot written after every
+// completed iteration.
+type checkpointManifest struct {
+	Version    int    `json:"version"`
+	Engine     string `json:"engine"`
+	Graph      string `json:"graph"`
+	FilePrefix string `json:"file_prefix"`
+	// Iteration is the last COMPLETED iteration; resume restarts at
+	// Iteration+1. Done marks a finished run (resume only re-collects).
+	Iteration int  `json:"iteration"`
+	Done      bool `json:"done"`
+
+	Visited         uint64 `json:"visited"`
+	Cancellations   int    `json:"cancellations"`
+	Skipped         int    `json:"skipped"`
+	Trimmed         int64  `json:"trimmed"`
+	StayCorruptions int    `json:"stay_corruptions,omitempty"`
+
+	Iterations []metrics.Iteration `json:"iterations"`
+	Parts      []manifestPart      `json:"parts"`
+}
+
+// checkpointer owns the manifest on its dedicated volume.
+type checkpointer struct {
+	vol     storage.Volume
+	written int // manifests persisted by this run
+}
+
+// write persists the manifest atomically: marshal, frame with a CRC,
+// write to a temp file, force it to stable storage, publish by rename
+// (the volume's Create/Close contract).
+func (c *checkpointer) write(man *checkpointManifest) error {
+	data, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("marshal manifest: %w", err)
+	}
+	w, err := c.vol.Create(manifestName)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(graph.FrameAll(data)); err != nil {
+		w.Abort()
+		return err
+	}
+	if sw, ok := w.(storage.SyncWriter); ok {
+		if err := sw.Sync(); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	c.written++
+	return nil
+}
+
+// load reads and validates the manifest. A missing manifest returns
+// (nil, nil) — resume of a never-checkpointed run is a fresh run. Any
+// frame, JSON or schema violation wraps errs.ErrCorrupted.
+func (c *checkpointer) load() (*checkpointManifest, error) {
+	raw, err := storage.ReadAll(c.vol, manifestName)
+	if err != nil {
+		if errors.Is(err, storage.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("fastbfs: reading checkpoint manifest: %w", err)
+	}
+	data, err := graph.DeframeAll(raw)
+	if err != nil {
+		return nil, fmt.Errorf("fastbfs: checkpoint manifest frames: %w", err)
+	}
+	man := &checkpointManifest{}
+	if err := json.Unmarshal(data, man); err != nil {
+		return nil, fmt.Errorf("fastbfs: checkpoint manifest: %w: %v", errs.ErrCorrupted, err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("fastbfs: checkpoint manifest version %d, want %d: %w", man.Version, manifestVersion, errs.ErrCorrupted)
+	}
+	if man.Iteration < 0 || len(man.Parts) == 0 {
+		return nil, fmt.Errorf("fastbfs: checkpoint manifest is inconsistent (iteration %d, %d partitions): %w",
+			man.Iteration, len(man.Parts), errs.ErrCorrupted)
+	}
+	return man, nil
+}
+
+// vertexGenFile names partition p's vertex-state file written in
+// iteration iter. Checkpointed runs keep one generation per saving
+// iteration so a crash mid-iteration never clobbers the state the
+// manifest points at; un-checkpointed runs overwrite a single file.
+func (e *engine) vertexGenFile(iter, p int) string {
+	return fmt.Sprintf("%s_vtxg%d_%d", e.rt.Opts.FilePrefix, iter, p)
+}
+
+// removeLater deletes a working file — immediately when the run is not
+// checkpointed, otherwise after the next manifest is durable (the
+// current manifest may still name it).
+func (e *engine) removeLater(name string) {
+	if name == "" {
+		return
+	}
+	if e.ck == nil {
+		e.rt.Vol.Remove(name)
+		return
+	}
+	e.graveyard = append(e.graveyard, name)
+}
+
+// flushGraveyard performs the deferred deletions; called only once a
+// manifest that no longer references them has been persisted.
+func (e *engine) flushGraveyard() {
+	for _, name := range e.graveyard {
+		e.rt.Vol.Remove(name)
+	}
+	e.graveyard = e.graveyard[:0]
+}
+
+// timingRole names the device a stream timing points at, for the
+// manifest; roleTiming rebuilds the timing on resume. Wall mode has a
+// single implicit device, so everything is "main".
+func (e *engine) timingRole(t stream.Timing) string {
+	sim := e.rt.Opts.Sim
+	if sim == nil || t.Device == nil || t.Device == sim.MainDisk {
+		return "main"
+	}
+	if sim.StayDisk != nil && t.Device == sim.StayDisk {
+		return "stay"
+	}
+	return "aux"
+}
+
+func (e *engine) roleTiming(role string) stream.Timing {
+	sim := e.rt.Opts.Sim
+	switch {
+	case sim == nil:
+		return e.mainTiming()
+	case role == "stay" && sim.StayDisk != nil:
+		return stream.Timing{Clock: e.rt.Clock, Device: sim.StayDisk, Retry: e.rt.Retry}
+	case role == "aux" && sim.AuxDisk != nil:
+		return e.auxTiming()
+	}
+	return e.mainTiming()
+}
+
+// writeManifest snapshots the run after completed iteration iter and
+// persists it, then performs the deletions that were deferred while the
+// previous manifest still referenced their files. No-op without a
+// checkpoint volume.
+func (e *engine) writeManifest(iter int, done bool, run *metrics.Run) error {
+	if e.ck == nil {
+		return nil
+	}
+	man := &checkpointManifest{
+		Version:         manifestVersion,
+		Engine:          EngineName,
+		Graph:           e.rt.Meta.Name,
+		FilePrefix:      e.rt.Opts.FilePrefix,
+		Iteration:       iter,
+		Done:            done,
+		Visited:         e.visited,
+		Cancellations:   e.cancellations,
+		Skipped:         e.skipped,
+		Trimmed:         e.trimmed,
+		StayCorruptions: e.stayCorrupt,
+		Iterations:      run.Iterations,
+		Parts:           make([]manifestPart, len(e.parts)),
+	}
+	for p := range e.parts {
+		st := &e.parts[p]
+		man.Parts[p] = manifestPart{
+			Input:      st.input,
+			InputRole:  e.timingRole(st.inputTiming),
+			VertexFile: st.vertexFile,
+			Updates:    st.updates,
+			StayBroken: st.stayBroken,
+		}
+		if st.fallback != "" {
+			man.Parts[p].Fallback = st.fallback
+			man.Parts[p].FallbackRole = e.timingRole(st.fallbackTiming)
+		}
+	}
+	if err := e.ck.write(man); err != nil {
+		return fmt.Errorf("fastbfs: checkpoint after iteration %d: %w", iter, err)
+	}
+	e.ctr.Checkpoints.Add(1)
+	e.flushGraveyard()
+	return nil
+}
+
+// seedFromManifest restores the engine's state from a loaded manifest
+// and validates that every file it names still exists on the working
+// volume — a missing file means the checkpoint and working volumes
+// diverged, which resume must refuse rather than silently restart.
+func (e *engine) seedFromManifest(man *checkpointManifest, run *metrics.Run) error {
+	if man.Engine != EngineName || man.Graph != e.rt.Meta.Name ||
+		man.FilePrefix != e.rt.Opts.FilePrefix || len(man.Parts) != e.rt.Parts.P() {
+		return fmt.Errorf("fastbfs: checkpoint manifest (engine %q graph %q prefix %q, %d partitions) does not match this run (%q, %d partitions): %w",
+			man.Engine, man.Graph, man.FilePrefix, len(man.Parts), e.rt.Meta.Name, e.rt.Parts.P(), errs.ErrCorrupted)
+	}
+	for p := range man.Parts {
+		mp := &man.Parts[p]
+		st := &e.parts[p]
+		st.input = mp.Input
+		st.inputTiming = e.roleTiming(mp.InputRole)
+		st.fallback = mp.Fallback
+		if mp.Fallback != "" {
+			st.fallbackTiming = e.roleTiming(mp.FallbackRole)
+		}
+		st.vertexFile = mp.VertexFile
+		st.updates = mp.Updates
+		st.stayBroken = mp.StayBroken
+		if mp.StayBroken {
+			e.stayDisabled++
+		}
+		need := []string{mp.Input, mp.VertexFile, mp.Fallback}
+		if !man.Done && mp.Updates > 0 {
+			need = append(need, e.rt.UpdateFile(iterIn(man.Iteration+1), p))
+		}
+		for _, name := range need {
+			if name != "" && !e.rt.Vol.Exists(name) {
+				return fmt.Errorf("fastbfs: checkpoint manifest names %s but the working volume does not have it: %w",
+					name, errs.ErrCorrupted)
+			}
+		}
+	}
+	e.visited = man.Visited
+	e.cancellations = man.Cancellations
+	e.skipped = man.Skipped
+	e.trimmed = man.Trimmed
+	e.stayCorrupt = man.StayCorruptions
+	e.resumed = man.Iteration + 1
+	run.Iterations = append(run.Iterations, man.Iterations...)
+	if e.stayDisabled > 0 {
+		e.ctr.StayDisabled.Set(int64(e.stayDisabled))
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -90,6 +91,23 @@ type Options struct {
 	// environment variable and otherwise leaves the cache off;
 	// ResidencyOff forces it off; ResidencyUnbounded removes the limit.
 	ResidencyBudget int64
+
+	// CheckpointVol, when non-nil, enables crash-consistent
+	// checkpointing: after every completed iteration a manifest is
+	// atomically persisted to this volume (DESIGN.md §10). Checkpointed
+	// runs keep their working files (Cleanup would delete the state a
+	// resume needs), pin the residency cache off (RAM-resident edge sets
+	// do not survive a crash), take the streaming path even when the
+	// graph fits in memory, and write vertex state under per-iteration
+	// generation names so a crash mid-iteration never clobbers the
+	// state the last manifest points at.
+	CheckpointVol storage.Volume
+	// Resume restarts from CheckpointVol's manifest: the run skips the
+	// partition-split pass, seeds engine state from the manifest and
+	// continues at the iteration after the last completed one. With no
+	// manifest present the run is simply fresh; a corrupt or mismatched
+	// manifest fails with errs.ErrCorrupted.
+	Resume bool
 }
 
 // SetDefaults fills unset fields.
@@ -130,6 +148,11 @@ func Run(vol storage.Volume, graphName string, opts Options) (*Result, error) {
 // files and removes its working files instead of running to completion.
 func RunContext(ctx context.Context, vol storage.Volume, graphName string, opts Options) (*Result, error) {
 	opts.SetDefaults()
+	if opts.CheckpointVol != nil {
+		// A resumable run must leave its working files behind: Cleanup
+		// would delete the very state the manifest names.
+		opts.Base.KeepFiles = true
+	}
 	rt, err := xstream.NewRuntimeContext(ctx, vol, graphName, opts.Base)
 	if err != nil {
 		return nil, err
@@ -138,7 +161,9 @@ func RunContext(ctx context.Context, vol storage.Volume, graphName string, opts 
 		return nil, fmt.Errorf("fastbfs: %w: BFS takes unweighted graphs; %s is weighted", errs.ErrBadOptions, graphName)
 	}
 	defer rt.Cleanup()
-	if rt.InMemory() {
+	if rt.InMemory() && opts.CheckpointVol == nil {
+		// The in-memory fast path has no durable intermediate state to
+		// checkpoint; checkpointed runs always stream.
 		return runInMemory(rt, opts)
 	}
 	e := &engine{rt: rt, opts: opts}
@@ -151,10 +176,26 @@ type partState struct {
 	// device it lives on (the "stay stream in" side).
 	input       string
 	inputTiming stream.Timing
+	// fallback, when non-empty, is the input this partition's current
+	// (adopted-stay) input replaced. It is kept until the adopted file
+	// survives one full scatter read — its frame checksums then prove
+	// the background write was neither torn nor bit-flipped — and a
+	// corruption detected before that falls back to it, which is safe
+	// because the stay list is a subset of the input it replaced.
+	fallback       string
+	fallbackTiming stream.Timing
 	// pending is the stay file written during this partition's previous
 	// scatter, still owned by the background writer.
 	pending       *stream.StayFile
 	pendingTiming stream.Timing
+	// stayBroken marks a partition whose stay writes failed permanently:
+	// trimming is degraded off for it (each scatter would otherwise burn
+	// a grace wait and a cancellation on a write that cannot succeed).
+	stayBroken bool
+	// vertexFile is the partition's current vertex-state file. It is the
+	// fixed VertexFile name normally, and a per-iteration generation
+	// name under checkpointing (see vertexGenFile).
+	vertexFile string
 	// resident, when non-nil, holds this partition's live edge set in
 	// RAM: the partition was promoted by the residency cache and its
 	// scatters no longer touch the device (DESIGN.md §8). Promotion is
@@ -180,10 +221,19 @@ type engine struct {
 	tr  *obs.Tracer
 	ctr obs.EngineCounters
 
+	// ck is the checkpoint writer (nil when not checkpointing);
+	// graveyard holds deletions deferred until the next manifest no
+	// longer references the files.
+	ck        *checkpointer
+	graveyard []string
+
 	visited       uint64
 	cancellations int
 	skipped       int
 	trimmed       int64
+	stayCorrupt   int
+	stayDisabled  int
+	resumed       int // iterations restored from a manifest (0 = fresh)
 }
 
 // mainTiming and auxTiming mirror the Runtime helpers.
@@ -200,7 +250,7 @@ func (e *engine) otherTiming(t stream.Timing) stream.Timing {
 		return t
 	}
 	if sim.StayDisk != nil {
-		return stream.Timing{Clock: e.rt.Clock, Device: sim.StayDisk}
+		return stream.Timing{Clock: e.rt.Clock, Device: sim.StayDisk, Retry: e.rt.Retry}
 	}
 	if sim.AuxDisk == nil {
 		return t
@@ -216,14 +266,51 @@ func (e *engine) run() (*Result, error) {
 	e.tr = e.rt.Tracer()
 	e.ctr = obs.NewEngineCounters(e.tr)
 	e.pool = e.rt.NewScatterPool(e.ctr)
-	e.resd = stream.NewResidency(e.opts.ResidencyBudget, e.rt.Parts.P())
+	budget := e.opts.ResidencyBudget
+	if e.opts.CheckpointVol != nil {
+		// A promoted partition's live edge set exists only in RAM and
+		// would be lost at a crash; checkpointed runs keep every
+		// partition on the device.
+		budget = ResidencyOff
+		e.ck = &checkpointer{vol: e.opts.CheckpointVol}
+	}
+	e.resd = stream.NewResidency(budget, e.rt.Parts.P())
 	runSpan := e.tr.Span("run").Attr("partitions", int64(e.rt.Parts.P()))
 	if e.resd != nil {
 		runSpan.Attr("residency_budget", e.opts.ResidencyBudget)
 	}
+
+	e.parts = make([]partState, e.rt.Parts.P())
+	for p := range e.parts {
+		e.parts[p].input = e.rt.EdgeFile(p)
+		e.parts[p].inputTiming = e.mainTiming()
+		e.parts[p].vertexFile = e.rt.VertexFile(p)
+	}
+
+	var man *checkpointManifest
+	if e.ck != nil && e.opts.Resume {
+		m, err := e.ck.load()
+		if err != nil {
+			return nil, err
+		}
+		man = m
+	}
+	startIter := 0
+	if man != nil {
+		if err := e.seedFromManifest(man, &run); err != nil {
+			return nil, err
+		}
+		startIter = man.Iteration + 1
+		runSpan.Attr("resumed_iterations", int64(startIter))
+	}
+
 	prep := runSpan.Child("load")
-	if _, err := e.rt.Prepare(); err != nil {
-		return nil, err
+	if man == nil {
+		// Resume skips the partition-split pass: the per-partition edge
+		// (or stay) inputs the manifest names are already on the volume.
+		if _, err := e.rt.Prepare(); err != nil {
+			return nil, err
+		}
 	}
 	prep.Attr("edges", int64(e.rt.Meta.Edges)).End()
 	e.sw = stream.NewStayWriter(e.rt.Vol, e.opts.StayBufSize, e.opts.StayBufCount)
@@ -232,19 +319,20 @@ func (e *engine) run() (*Result, error) {
 	defer e.sw.Shutdown()
 	defer e.drainPending()
 
-	e.parts = make([]partState, e.rt.Parts.P())
-	for p := range e.parts {
-		e.parts[p].input = e.rt.EdgeFile(p)
-		e.parts[p].inputTiming = e.mainTiming()
-	}
-
 	maxIter := e.rt.Opts.MaxIterations
 	if maxIter <= 0 {
 		maxIter = int(e.rt.Meta.Vertices) + 1
 	}
-	in, out := 0, 1
+	if man != nil && man.Done {
+		// The checkpointed run had already converged; skip straight to
+		// collecting its recorded vertex state.
+		maxIter = startIter
+	}
 
-	for iter := 0; iter < maxIter; iter++ {
+	for iter := startIter; iter < maxIter; iter++ {
+		// Iteration iter consumes update set iterIn(iter) and produces
+		// the other one (the two sets' roles switch every iteration).
+		in, out := iterIn(iter), 1-iterIn(iter)
 		if err := e.rt.Checkpoint(); err != nil {
 			return nil, err
 		}
@@ -308,10 +396,16 @@ func (e *engine) run() (*Result, error) {
 
 		if iter > 0 {
 			for p := 0; p < e.rt.Parts.P(); p++ {
-				e.rt.Vol.Remove(e.rt.UpdateFile(in, p))
+				e.removeLater(e.rt.UpdateFile(in, p))
 			}
 		}
-		in, out = out, in
+
+		// Iteration complete: persist the manifest (atomic), then the
+		// deletions deferred while the previous manifest still referenced
+		// their files become safe.
+		if err := e.writeManifest(iter, emittedTotal == 0, &run); err != nil {
+			return nil, err
+		}
 
 		if emittedTotal == 0 {
 			break
@@ -320,7 +414,7 @@ func (e *engine) run() (*Result, error) {
 	runSpan.Attr("visited", int64(e.visited)).End()
 	e.tr.EmitCounters()
 
-	res, err := e.rt.CollectResult()
+	res, err := e.rt.CollectResultFrom(func(p int) string { return e.parts[p].vertexFile })
 	if err != nil {
 		return nil, err
 	}
@@ -329,6 +423,12 @@ func (e *engine) run() (*Result, error) {
 	run.Cancellations = e.cancellations
 	run.Skipped = e.skipped
 	run.TrimmedEdges = e.trimmed
+	run.StayCorruptions = e.stayCorrupt
+	run.StayDisabledParts = e.stayDisabled
+	run.Resumed = e.resumed
+	if e.ck != nil {
+		run.Checkpoints = e.ck.written
+	}
 	run.StayBufferWaits = e.sw.BufferWaits()
 	run.ResidentParts = e.resd.ResidentParts()
 	run.ResidentBytes = e.resd.Bytes()
@@ -337,6 +437,59 @@ func (e *engine) run() (*Result, error) {
 	e.rt.FinishMetrics(&run)
 	res.Metrics = run
 	return res, nil
+}
+
+// loadVerts and saveVerts read and write partition p's vertex state
+// through its current file name. Under checkpointing each save opens a
+// new per-iteration generation and the superseded file is deleted only
+// after the next manifest (which names the new generation) is durable —
+// a crash mid-iteration therefore never clobbers the state the last
+// manifest points at.
+func (e *engine) loadVerts(p int) (*xstream.Verts, error) {
+	return e.rt.LoadVertsFile(p, e.parts[p].vertexFile)
+}
+
+func (e *engine) saveVerts(p, iter int, v *xstream.Verts) error {
+	st := &e.parts[p]
+	name := st.vertexFile
+	if e.ck != nil {
+		name = e.vertexGenFile(iter, p)
+	}
+	if err := e.rt.SaveVertsFile(p, name, v); err != nil {
+		return err
+	}
+	if name != st.vertexFile {
+		e.removeLater(st.vertexFile)
+		st.vertexFile = name
+	}
+	return nil
+}
+
+// markStayBroken degrades a partition to untrimmed scatters after a
+// permanent stay-write failure: the stay file is an optimization, and a
+// partition whose stay writes cannot succeed would otherwise burn a
+// grace wait and a cancellation every iteration.
+func (e *engine) markStayBroken(st *partState) {
+	if st.stayBroken {
+		return
+	}
+	st.stayBroken = true
+	e.stayDisabled++
+	e.ctr.StayDisabled.Set(int64(e.stayDisabled))
+}
+
+// dropFallback releases the superseded input once the adopted stay file
+// has survived one full verified read. After a corruption fallback the
+// fallback IS the current input again, in which case only the
+// bookkeeping is cleared.
+func (e *engine) dropFallback(st *partState) {
+	if st.fallback == "" {
+		return
+	}
+	if st.fallback != st.input {
+		e.removeLater(st.fallback)
+	}
+	st.fallback, st.fallbackTiming = "", stream.Timing{}
 }
 
 // iteratePartition runs partition p's share of one iteration: gather the
@@ -394,7 +547,7 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 		}
 		lds.End()
 	} else {
-		v, err = e.rt.LoadVerts(p)
+		v, err = e.loadVerts(p)
 		lds.End()
 		if err != nil {
 			edgeScan.Close()
@@ -419,72 +572,39 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 	// the ablation disables selective scheduling).
 	doScatter := st.frontier > 0 || e.opts.DisableSelectiveScheduling
 	if doScatter {
-		// When trimming is active the surviving edges need a sink. If the
-		// whole input fits the residency budget's fair share, this scatter
-		// promotes the partition: the stays are captured in RAM instead of
-		// a stay file, so there is no async write, no grace race and no
-		// possible cancellation for this partition ever again.
-		var sink edgeSink
-		var stay *stream.StayFile
-		var capture *stream.Resident
-		var reserved int64
-		if trimNow {
-			if sz := edgeScan.Size(); e.resd.TryReserve(sz) {
-				reserved = sz
-				capture = stream.NewResident(sz / graph.EdgeBytes)
-				sink = capture
-			} else {
-				stayTiming := e.otherTiming(inputTiming)
-				stay, err = e.sw.Begin(e.rt.StayFile(iter, p), stayTiming)
-				if err != nil {
-					edgeScan.Close()
-					return err
-				}
-				sink = stay
-				st.pendingTiming = stayTiming
+		for {
+			err := e.scatterInput(st, p, iter, trimNow, sh, itRow, itSpan, edgeScan, v)
+			if err == nil {
+				break
 			}
-		}
-		ss := itSpan.Child("scatter").SetPart(p)
-		scanned, stayed, err := e.scatter(v, edgeScan, uint32(iter), sh, sink)
-		ss.Attr("edges", scanned).Attr("stayed", stayed)
-		if err != nil {
-			ss.End()
-			if stay != nil {
-				stay.Close()
-				stay.Discard()
-			}
-			e.resd.Release(reserved)
-			return err
-		}
-		itRow.EdgesStreamed += scanned
-		if stay != nil {
-			if err := stay.Close(); err != nil {
-				ss.End()
+			// A corrupted adopted stay file — a torn or bit-flipped
+			// background write caught by its frame checksums — is
+			// recoverable while the input it replaced is still on the
+			// volume: re-reading that superset is the cancellation
+			// fallback taken late (§II-C2). Updates already shuffled from
+			// the corrupt file's readable prefix are re-emitted by the
+			// wider re-scatter; the first-wins gather makes the
+			// duplicates harmless.
+			if !errors.Is(err, errs.ErrCorrupted) || st.fallback == "" {
 				return err
 			}
-			st.pending = stay
-			itRow.StayEdges += stayed
-			e.trimmed += scanned - stayed
-			e.ctr.StayEdges.Add(stayed)
-			e.ctr.StayBytes.Add(stayed * graph.EdgeBytes)
+			e.removeLater(st.input)
+			st.input, st.inputTiming = st.fallback, st.fallbackTiming
+			st.fallback, st.fallbackTiming = "", stream.Timing{}
+			e.stayCorrupt++
+			e.cancellations++ // a late cancellation of the stay adoption
+			itRow.Cancelled++
+			e.ctr.Cancellations.Add(1)
+			e.ctr.StayCorrupt.Add(1)
+			edgeScan, err = stream.NewEdgeScanner(e.rt.Vol, st.input, st.inputTiming, e.rt.Opts.StreamBufSize)
+			if err != nil {
+				return err
+			}
+			edgeScan.Prefetch(e.rt.Opts.PrefetchBuffers)
 		}
-		if capture != nil {
-			// Promotion: the live edge set is now in RAM; the on-device
-			// input is gone for good. The stay write that a device run
-			// would have issued is traffic saved.
-			e.resd.Commit(reserved, capture.Bytes())
-			e.resd.NoteSavedWrite(stayed * graph.EdgeBytes)
-			st.resident = capture
-			e.rt.Vol.Remove(input)
-			st.input, st.inputTiming = "", stream.Timing{}
-			itRow.StayEdges += stayed
-			e.trimmed += scanned - stayed
-			e.ctr.Promotions.Add(1)
-			e.ctr.ResidentParts.Set(e.resd.ResidentParts())
-			e.ctr.ResidentBytes.Set(e.resd.Bytes())
-			ss.Attr("promote", 1)
-		}
-		ss.End()
+		// The input survived a full read — its checksummed frames
+		// verified end to end — so the superseded fallback can go.
+		e.dropFallback(st)
 	} else {
 		// The speculative input open is abandoned; Close cancels its
 		// read-ahead with a device refund.
@@ -500,12 +620,94 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 	// this is the initializing iteration).
 	if iter == 0 || st.frontier > 0 || e.opts.DisableSelectiveScheduling {
 		svs := itSpan.Child("load").SetPart(p)
-		err := e.rt.SaveVerts(p, v)
+		err := e.saveVerts(p, iter, v)
 		svs.End()
 		if err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// scatterInput runs one scatter attempt over st.input: pick the trim
+// sink (a stay file, or a residency capture when the whole input fits
+// the cache's fair share), stream the input through the worker pool and
+// finalize the sink. The scanner is consumed and closed in all cases.
+// When trimming is active the surviving edges need a sink. If the
+// capture path wins, this scatter promotes the partition: the stays are
+// captured in RAM instead of a stay file, so there is no async write,
+// no grace race and no possible cancellation for this partition ever
+// again.
+func (e *engine) scatterInput(st *partState, p, iter int, trimNow bool, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span, edgeScan *stream.Scanner[graph.Edge], v *xstream.Verts) error {
+	var sink edgeSink
+	var stay *stream.StayFile
+	var capture *stream.Resident
+	var reserved int64
+	if trimNow && !st.stayBroken {
+		if sz := edgeScan.Size(); e.resd.TryReserve(sz) {
+			reserved = sz
+			capture = stream.NewResident(sz / graph.EdgeBytes)
+			sink = capture
+		} else {
+			stayTiming := e.otherTiming(st.inputTiming)
+			f, err := e.sw.Begin(e.rt.StayFile(iter, p), stayTiming)
+			switch {
+			case err == nil:
+				stay = f
+				sink = stay
+				st.pendingTiming = stayTiming
+			case errors.Is(err, errs.ErrIOFailed):
+				// Could not even create the stay file: degrade this
+				// partition to untrimmed scatters instead of failing the
+				// run.
+				e.markStayBroken(st)
+			default:
+				edgeScan.Close()
+				return err
+			}
+		}
+	}
+	ss := itSpan.Child("scatter").SetPart(p)
+	scanned, stayed, err := e.scatter(v, edgeScan, uint32(iter), sh, sink)
+	ss.Attr("edges", scanned).Attr("stayed", stayed)
+	if err != nil {
+		ss.End()
+		if stay != nil {
+			stay.Close()
+			stay.Discard()
+		}
+		e.resd.Release(reserved)
+		return err
+	}
+	itRow.EdgesStreamed += scanned
+	if stay != nil {
+		if err := stay.Close(); err != nil {
+			ss.End()
+			return err
+		}
+		st.pending = stay
+		itRow.StayEdges += stayed
+		e.trimmed += scanned - stayed
+		e.ctr.StayEdges.Add(stayed)
+		e.ctr.StayBytes.Add(stayed * graph.EdgeBytes)
+	}
+	if capture != nil {
+		// Promotion: the live edge set is now in RAM; the on-device
+		// input is gone for good. The stay write that a device run
+		// would have issued is traffic saved.
+		e.resd.Commit(reserved, capture.Bytes())
+		e.resd.NoteSavedWrite(stayed * graph.EdgeBytes)
+		st.resident = capture
+		e.removeLater(st.input)
+		st.input, st.inputTiming = "", stream.Timing{}
+		itRow.StayEdges += stayed
+		e.trimmed += scanned - stayed
+		e.ctr.Promotions.Add(1)
+		e.ctr.ResidentParts.Set(e.resd.ResidentParts())
+		e.ctr.ResidentBytes.Set(e.resd.Bytes())
+		ss.Attr("promote", 1)
+	}
+	ss.End()
 	return nil
 }
 
@@ -529,16 +731,22 @@ func (e *engine) resolveInput(p int, itRow *metrics.Iteration) (string, stream.T
 	}
 	st.pending = nil
 	adopt := false
+	var useErr error
 	if clock := e.rt.Clock; clock != nil {
 		if f.ReadyAt() <= clock.Now()+e.opts.GracePeriod {
 			clock.WaitUntil(f.ReadyAt())
 			if err := f.Use(); err == nil {
 				adopt = true
+			} else {
+				useErr = err
 			}
 		}
 	} else {
-		if ok, err := f.TryUse(e.opts.GraceWall); ok && err == nil {
+		ok, err := f.TryUse(e.opts.GraceWall)
+		if ok && err == nil {
 			adopt = true
+		} else if err != nil {
+			useErr = err
 		}
 	}
 	if !adopt {
@@ -546,10 +754,21 @@ func (e *engine) resolveInput(p int, itRow *metrics.Iteration) (string, stream.T
 		e.cancellations++
 		itRow.Cancelled++
 		e.ctr.Cancellations.Add(1)
+		if useErr != nil {
+			// The background write failed outright (not merely late):
+			// further stay writes for this partition would fail the same
+			// way, so degrade trimming off for it.
+			e.markStayBroken(st)
+		}
 		return st.input, st.inputTiming
 	}
 	if st.input != f.Name() {
-		e.rt.Vol.Remove(st.input) // replaced: "FastBFS replaces the previous files ... with the new stay files" (§II-A)
+		// The stay file replaces the previous input ("FastBFS replaces
+		// the previous files ... with the new stay files", §II-A) — but
+		// the replaced file is kept as a fallback until the adopted one
+		// survives a full checksummed read (dropFallback); a torn or
+		// bit-flipped stay write detected before that falls back to it.
+		st.fallback, st.fallbackTiming = st.input, st.inputTiming
 	}
 	// The adopted stay file's bytes are the write amount trimming really
 	// added (cancelled writes were refunded on the device timeline).
@@ -670,7 +889,7 @@ func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter 
 func (e *engine) iterateResident(p, iter int, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span) error {
 	st := &e.parts[p]
 	lds := itSpan.Child("load").SetPart(p)
-	v, err := e.rt.LoadVerts(p)
+	v, err := e.loadVerts(p)
 	lds.End()
 	if err != nil {
 		return err
@@ -708,7 +927,7 @@ func (e *engine) iterateResident(p, iter int, sh *stream.Shuffler, itRow *metric
 
 	if st.frontier > 0 || e.opts.DisableSelectiveScheduling {
 		svs := itSpan.Child("load").SetPart(p)
-		err := e.rt.SaveVerts(p, v)
+		err := e.saveVerts(p, iter, v)
 		svs.End()
 		if err != nil {
 			return err

@@ -3,10 +3,13 @@ package core
 import (
 	"errors"
 	"runtime"
+	"slices"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"fastbfs/internal/errs"
 	"fastbfs/internal/gen"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/storage"
@@ -125,10 +128,14 @@ func TestParallelScatterFaultAbortsCleanly(t *testing.T) {
 	boom := errors.New("update disk full mid-scatter")
 	for i := 0; i < 10; i++ {
 		vol, m := storedGraph(t)
+		var updWrites atomic.Int64
 		vol.FailWrites(func(name string, written int64) error {
 			// Fail partway into an update stream, once several chunks of
-			// shards are already merged and more are in flight.
-			if strings.Contains(name, "_upd") && written >= 512 {
+			// shards are already merged and more are in flight. The call
+			// count covers wrapped volumes (the FASTBFS_FAULTS chaos cell)
+			// that batch a file into one write at publish time, where the
+			// offset never advances past the first chunk.
+			if strings.Contains(name, "_upd") && (written >= 512 || updWrites.Add(1) >= 3) {
 				return boom
 			}
 			return nil
@@ -181,6 +188,122 @@ func TestParallelScatterSurvivesStayFaults(t *testing.T) {
 	}
 	if res.Metrics.Cancellations == 0 {
 		t.Fatal("failed stay writes should be recorded as cancellations")
+	}
+}
+
+func TestRunSurfacesGatherReadFailure(t *testing.T) {
+	// Gather-side fault point: a permanent read fault on an update stream
+	// (a dead sector under the gather's input) must fail the run with
+	// ErrIOFailed — retrying is pointless — and leak no goroutines even
+	// though the failure lands between a partition's gather and its
+	// scatter with prefetches in flight.
+	warm, wm := storedGraph(t)
+	if _, err := Run(warm, wm.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}}); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		vol, m := storedGraph(t)
+		faulty := storage.NewFaulty(vol, storage.FaultSpec{Seed: uint64(i + 1), PReadP: 1, Match: "_upd"})
+		_, err := Run(faulty, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}})
+		if !errors.Is(err, errs.ErrIOFailed) {
+			t.Fatalf("run %d: err = %v, want ErrIOFailed", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d across gather-fault runs", before, after)
+	}
+}
+
+func TestResidentPromotionFaultAbortsCleanly(t *testing.T) {
+	// Resident-promotion fault point: with an unbounded residency budget,
+	// iteration 0's scatter captures every partition into RAM — a
+	// permanent read fault on the partition edge input mid-capture must
+	// surface ErrIOFailed (the error path also refunds the reservation)
+	// and leak no goroutines.
+	warm, wm := storedGraph(t)
+	if _, err := Run(warm, wm.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}, ResidencyBudget: ResidencyUnbounded}); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		vol, m := storedGraph(t)
+		// Match only the per-partition working edge files (the promoting
+		// scatter's input), not the stored dataset Prepare reads.
+		faulty := storage.NewFaulty(vol, storage.FaultSpec{Seed: uint64(i + 1), PReadP: 1, Match: "fastbfs_edge_"})
+		_, err := Run(faulty, m.Name, Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}, ResidencyBudget: ResidencyUnbounded})
+		if !errors.Is(err, errs.ErrIOFailed) {
+			t.Fatalf("run %d: err = %v, want ErrIOFailed", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d across promotion-fault runs", before, after)
+	}
+}
+
+func TestRunByteIdenticalUnderTransientFaults(t *testing.T) {
+	// The PR's acceptance criterion: transient read+write faults at
+	// p=0.05 over the whole volume must leave the BFS result
+	// byte-identical to the fault-free run, with the retries visible in
+	// the run metrics, zero failures past the (deepened) budget, no
+	// leaked goroutines and no leaked working files.
+	opts := func() Options {
+		return Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}}
+	}
+	refVol, m := storedGraph(t)
+	want, err := Run(refVol, m.Name, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	vol, _ := storedGraph(t)
+	faulty := storage.NewFaulty(vol, storage.FaultSpec{Seed: 42, ReadP: 0.05, WriteP: 0.05})
+	o := opts()
+	// p=0.05 makes a default-budget exhaustion (p^4 per op) just likely
+	// enough to flake over a whole run; 12 attempts puts it at p^12.
+	o.Base.RetryAttempts = 12
+	res, err := Run(faulty, m.Name, o)
+	if err != nil {
+		t.Fatalf("run under transient faults: %v", err)
+	}
+	if res.Visited != want.Visited {
+		t.Fatalf("visited %d under faults, want %d", res.Visited, want.Visited)
+	}
+	if !slices.Equal(res.Levels, want.Levels) || !slices.Equal(res.Parents, want.Parents) {
+		t.Fatal("result not byte-identical to the fault-free run")
+	}
+	if res.Metrics.IORetries == 0 {
+		t.Fatal("no retries recorded under p=0.05 fault injection")
+	}
+	if res.Metrics.IOFailures != 0 {
+		t.Fatalf("%d I/O failures leaked past the retry budget", res.Metrics.IOFailures)
+	}
+	// Zero file leaks: only the stored dataset survives the run.
+	for _, f := range vol.List() {
+		if f != graph.EdgeFileName(m.Name) && f != graph.ConfFileName(m.Name) {
+			t.Errorf("leftover working file %s", f)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d across the faulted run", before, after)
 	}
 }
 

@@ -34,4 +34,16 @@ var (
 	// ErrClosed reports that the service is draining or closed and no
 	// longer admits queries.
 	ErrClosed = errors.New("service closed")
+
+	// ErrCorrupted reports that a file failed its integrity check: a
+	// framed update/stay file with a bad checksum, a truncated frame
+	// stream, or an unreadable checkpoint manifest. Where semantics
+	// allow (a corrupted stay file is a subset of an input that still
+	// exists) the engines recover instead of returning it.
+	ErrCorrupted = errors.New("data corrupted")
+
+	// ErrIOFailed reports an I/O error that survived the stream layer's
+	// bounded retries (or was permanent to begin with) and could not be
+	// degraded around. The wrapped cause is the last underlying error.
+	ErrIOFailed = errors.New("i/o failed after retries")
 )

@@ -282,7 +282,7 @@ func (e *engine) preprocess() error {
 		if err := rt.Checkpoint(); err != nil {
 			return err
 		}
-		data, err := storage.ReadAll(rt.Vol, e.shardFile(q))
+		data, err := stream.ReadAll(rt.Vol, e.shardFile(q), rt.Retry)
 		if err != nil {
 			return err
 		}
@@ -300,7 +300,7 @@ func (e *engine) preprocess() error {
 		for i := range recs {
 			putShardRec(data[i*shardRecBytes:], recs[i])
 		}
-		if err := storage.WriteAll(rt.Vol, e.shardFile(q), data); err != nil {
+		if err := stream.WriteAll(rt.Vol, e.shardFile(q), data, rt.Retry); err != nil {
 			return err
 		}
 		if tm.Clock != nil {
@@ -368,7 +368,7 @@ func (e *engine) executeInterval(p int, itSpan *obs.Span) (changed bool, scanned
 	}
 
 	// Memory shard: all in-edges of interval p.
-	memData, err := storage.ReadAll(rt.Vol, e.shardFile(p))
+	memData, err := stream.ReadAll(rt.Vol, e.shardFile(p), rt.Retry)
 	if err != nil {
 		return false, 0, 0, err
 	}

@@ -82,6 +82,28 @@ type Run struct {
 	// ResidentBytesSaved is device traffic the cache avoided: edge reads
 	// served from RAM plus stay-file writes never issued.
 	ResidentBytesSaved int64
+
+	// IORetries counts transient I/O faults cleared by the stream
+	// layer's bounded retries; IOFailures counts operations that failed
+	// past the retry budget (or permanently). A fault-tolerant run that
+	// still produced a correct result shows IORetries > 0, IOFailures
+	// == 0.
+	IORetries  int64
+	IOFailures int64
+	// StayCorruptions counts stay files whose checksummed frames failed
+	// verification when adopted as input; each one fell back to the
+	// partition's previous input (FastBFS).
+	StayCorruptions int
+	// StayDisabledParts counts partitions whose stay writing was
+	// permanently disabled after an unrecoverable stay-write failure
+	// (trimming degrades off for them; the run continues).
+	StayDisabledParts int
+
+	// Checkpoints counts iteration manifests durably written; Resumed
+	// is the number of completed iterations restored from a checkpoint
+	// instead of re-executed (0 for a fresh run).
+	Checkpoints int
+	Resumed     int
 }
 
 // IOWaitRatio is iowait / exec time (Fig. 6's metric).
@@ -129,6 +151,12 @@ func (r *Run) String() string {
 	if r.ResidentParts > 0 {
 		s += fmt.Sprintf(" resident=%d saved=%.3fGB", r.ResidentParts, GB(r.ResidentBytesSaved))
 	}
+	if r.IORetries > 0 || r.IOFailures > 0 {
+		s += fmt.Sprintf(" retries=%d iofail=%d", r.IORetries, r.IOFailures)
+	}
+	if r.Resumed > 0 {
+		s += fmt.Sprintf(" resumed=%d", r.Resumed)
+	}
 	return s
 }
 
@@ -164,6 +192,18 @@ func (r *Run) Report() string {
 			r.ResidentParts, GB(r.ResidentBytes), r.ResidentScans)
 		fmt.Fprintf(&b, "device bytes saved: %d (%.4f GB)\n",
 			r.ResidentBytesSaved, GB(r.ResidentBytesSaved))
+	}
+	if r.IORetries > 0 || r.IOFailures > 0 {
+		fmt.Fprintf(&b, "io retries:    %d (failures past budget: %d)\n", r.IORetries, r.IOFailures)
+	}
+	if r.StayCorruptions > 0 {
+		fmt.Fprintf(&b, "stay corrupt:  %d (fell back to previous input)\n", r.StayCorruptions)
+	}
+	if r.StayDisabledParts > 0 {
+		fmt.Fprintf(&b, "stay disabled: %d partitions (trimming degraded off)\n", r.StayDisabledParts)
+	}
+	if r.Checkpoints > 0 || r.Resumed > 0 {
+		fmt.Fprintf(&b, "checkpoints:   %d written, %d iterations restored by resume\n", r.Checkpoints, r.Resumed)
 	}
 	for _, d := range r.Devices {
 		fmt.Fprintf(&b, "device %-6s read=%.4fGB written=%.4fGB busy=%.4fs ops=%d\n",

@@ -456,6 +456,11 @@ const (
 	CtrResidentBytes   = "resident_bytes"
 	CtrResidentScans   = "resident_scans"
 	CtrPromotions      = "promotions"
+	CtrIORetries       = "io_retries"          // transient I/O faults cleared by retry
+	CtrIOFailures      = "io_failures"         // I/O operations failed past the retry budget
+	CtrStayCorruptions = "stay_corruptions"    // adopted stay files that failed frame checks
+	CtrStayDisabled    = "stay_disabled_parts" // gauge: partitions with stay writing degraded off
+	CtrCheckpoints     = "checkpoints_written" // iteration manifests durably persisted
 )
 
 // Counter names maintained by the query service (internal/serve). They
@@ -471,6 +476,8 @@ const (
 	CtrServeCompleted   = "serve_completed"    // queries that ran to completion
 	CtrServeCacheHits   = "serve_cache_hits"   // queries answered from the result cache
 	CtrServeCacheMisses = "serve_cache_misses" // cacheable queries that had to execute
+	CtrServeIORetries   = "serve_io_retries"   // transient I/O retries across completed queries
+	CtrServeIOFailures  = "serve_io_failures"  // I/O failures past retry across completed queries
 )
 
 // EngineCounters bundles the standard live counters an engine maintains.
@@ -496,6 +503,11 @@ type EngineCounters struct {
 	ResidentBytes  *Counter // gauge: bytes held by the resident-partition cache
 	ResidentScans  *Counter // partition scatters served from RAM
 	Promotions     *Counter // partition promotions (== resident parts; monotone)
+	IORetries      *Counter // transient I/O faults cleared by retry
+	IOFailures     *Counter // I/O operations failed past the retry budget
+	StayCorrupt    *Counter // adopted stay files that failed frame verification
+	StayDisabled   *Counter // gauge: partitions with stay writing degraded off
+	Checkpoints    *Counter // iteration manifests durably written
 }
 
 // NewEngineCounters registers (or re-fetches) the standard counter set.
@@ -521,5 +533,10 @@ func NewEngineCounters(t *Tracer) EngineCounters {
 		ResidentBytes:  t.Counter(CtrResidentBytes),
 		ResidentScans:  t.Counter(CtrResidentScans),
 		Promotions:     t.Counter(CtrPromotions),
+		IORetries:      t.Counter(CtrIORetries),
+		IOFailures:     t.Counter(CtrIOFailures),
+		StayCorrupt:    t.Counter(CtrStayCorruptions),
+		StayDisabled:   t.Counter(CtrStayDisabled),
+		Checkpoints:    t.Counter(CtrCheckpoints),
 	}
 }

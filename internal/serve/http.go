@@ -44,6 +44,9 @@ type httpResult struct {
 
 type httpError struct {
 	Error string `json:"error"`
+	// Reason carries the sentinel class for machine consumption
+	// ("io_failed", "corrupted") when the failure is an I/O one.
+	Reason string `json:"reason,omitempty"`
 }
 
 // statusFor maps service errors to HTTP status codes: the sentinel
@@ -63,6 +66,18 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
+}
+
+// reasonFor classifies I/O-taxonomy errors for httpError.Reason; other
+// errors are self-describing and get no reason field.
+func reasonFor(err error) string {
+	switch {
+	case errors.Is(err, errs.ErrCorrupted):
+		return "corrupted"
+	case errors.Is(err, errs.ErrIOFailed):
+		return "io_failed"
+	}
+	return ""
 }
 
 // Handler returns the service's HTTP interface:
@@ -111,7 +126,7 @@ func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// A cancelled query whose cause is the server-side timeout is a
 		// gateway timeout, not a plain cancellation.
-		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		writeJSON(w, statusFor(err), httpError{Error: err.Error(), Reason: reasonFor(err)})
 		return
 	}
 	hr := httpResult{
@@ -146,17 +161,23 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
+	stats := s.Stats()
 	status := http.StatusOK
 	state := "ok"
-	if closed {
+	switch {
+	case closed:
 		status = http.StatusServiceUnavailable
 		state = "draining"
+	case stats.IOFailures > 0:
+		// Still serving (status 200) but queries have hit I/O failures
+		// past the retry budget; operators should look at the disks.
+		state = "degraded"
 	}
 	writeJSON(w, status, struct {
 		Status string `json:"status"`
 		Graph  string `json:"graph"`
 		Stats  Stats  `json:"stats"`
-	}{Status: state, Graph: s.name, Stats: s.Stats()})
+	}{Status: state, Graph: s.name, Stats: stats})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -161,6 +161,127 @@ func TestHTTPQueryAndHealth(t *testing.T) {
 	}
 }
 
+func TestHTTPIOFailureReasonAndDegradedHealth(t *testing.T) {
+	// Permanent read faults on the per-query update files exhaust the
+	// engine's retry budget: the query must answer 500 with a
+	// machine-readable reason, and /healthz must flip to "degraded"
+	// (still 200 — the service keeps serving) once a failure is on
+	// record. Draining still wins over degraded.
+	vol, m := storedGraph(t)
+	faulty := storage.NewFaulty(vol, storage.FaultSpec{Seed: 1, PReadP: 1, Match: "_upd"})
+	svc, err := serve.New(faulty, m.Name, serve.Config{CacheEntries: -1, Base: smallBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+
+	resp, body := postQuery(t, ts.URL, `{"algorithm":"bfs","root":1}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted query: status = %d (%s), want 500", resp.StatusCode, body)
+	}
+	var he struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &he); err != nil {
+		t.Fatalf("error body is not JSON (%v): %s", err, body)
+	}
+	if he.Reason != "io_failed" || he.Error == "" {
+		t.Fatalf("error body = %s, want reason io_failed", body)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string      `json:"status"`
+		Stats  serve.Stats `json:"stats"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&hz)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || hz.Status != "degraded" {
+		t.Fatalf("healthz after I/O failure = %d %q, want 200 degraded", hresp.StatusCode, hz.Status)
+	}
+	if hz.Stats.IOFailures == 0 {
+		t.Fatalf("stats after failed query = %+v, want io_failures > 0", hz.Stats)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hresp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&hz)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusServiceUnavailable || hz.Status != "draining" {
+		t.Fatalf("healthz while draining = %d %q, want 503 draining", hresp.StatusCode, hz.Status)
+	}
+}
+
+func TestHTTPTransientRetriesStayHealthy(t *testing.T) {
+	// Transient faults under an ample retry budget: the query succeeds
+	// with the exact reference answer, the retries show up in the service
+	// stats, and health stays "ok" — degraded is reserved for failures.
+	vol, m := storedGraph(t)
+	base := smallBase()
+	base.Base.RetryAttempts = 20
+	faulty := storage.NewFaulty(vol, storage.FaultSpec{Seed: 7, ReadP: 0.2, WriteP: 0.2, Match: "_upd"})
+	svc, err := serve.New(faulty, m.Name, serve.Config{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+	want := refBFS(t, serve.EngineFastBFS, vol, m.Name, 1)
+
+	resp, body := postQuery(t, ts.URL, `{"algorithm":"bfs","root":1,"include_values":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query under transient faults: status = %d (%s)", resp.StatusCode, body)
+	}
+	var hr struct {
+		Visited uint64   `json:"visited"`
+		Levels  []uint32 `json:"levels"`
+	}
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Visited != want.Visited || !reflect.DeepEqual(hr.Levels, want.Levels) {
+		t.Fatal("result under transient faults differs from the fault-free reference")
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string      `json:"status"`
+		Stats  serve.Stats `json:"stats"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&hz)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz after retried query = %d %q, want 200 ok", hresp.StatusCode, hz.Status)
+	}
+	if hz.Stats.IORetries == 0 || hz.Stats.IOFailures != 0 {
+		t.Fatalf("stats after retried query = %+v, want io_retries > 0 and io_failures == 0", hz.Stats)
+	}
+}
+
 // goPost issues the request from a helper goroutine, reporting only
 // through the channel (t must not be used off the test goroutine).
 func goPost(url, body string) chan int {

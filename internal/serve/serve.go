@@ -204,6 +204,8 @@ type serveCounters struct {
 	rejected    *obs.Counter
 	cancelled   *obs.Counter
 	completed   *obs.Counter
+	ioRetries   *obs.Counter
+	ioFailures  *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 }
@@ -264,6 +266,8 @@ func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error
 		rejected:    s.tr.Counter(obs.CtrServeRejected),
 		cancelled:   s.tr.Counter(obs.CtrServeCancelled),
 		completed:   s.tr.Counter(obs.CtrServeCompleted),
+		ioRetries:   s.tr.Counter(obs.CtrServeIORetries),
+		ioFailures:  s.tr.Counter(obs.CtrServeIOFailures),
 		cacheHits:   s.tr.Counter(obs.CtrServeCacheHits),
 		cacheMisses: s.tr.Counter(obs.CtrServeCacheMisses),
 	}
@@ -324,9 +328,14 @@ func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
 		if errors.Is(err, errs.ErrCancelled) || ctx.Err() != nil {
 			s.ctr.cancelled.Add(1)
 		}
+		if errors.Is(err, errs.ErrIOFailed) || errors.Is(err, errs.ErrCorrupted) {
+			s.ctr.ioFailures.Add(1)
+		}
 		return nil, err
 	}
 	s.ctr.completed.Add(1)
+	s.ctr.ioRetries.Add(res.Metrics.IORetries)
+	s.ctr.ioFailures.Add(res.Metrics.IOFailures)
 	if useCache {
 		s.cache.put(key, res)
 	}
@@ -554,6 +563,12 @@ type Stats struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int64 `json:"cache_size"`
+	// IORetries and IOFailures accumulate the fault-tolerance counters
+	// of completed queries (plus one failure per query that died on
+	// ErrIOFailed/ErrCorrupted); a non-zero IOFailures marks the service
+	// degraded in /healthz.
+	IORetries  int64 `json:"io_retries"`
+	IOFailures int64 `json:"io_failures"`
 }
 
 // Stats reads the current counter values.
@@ -568,5 +583,7 @@ func (s *GraphService) Stats() Stats {
 		CacheHits:   s.ctr.cacheHits.Value(),
 		CacheMisses: s.ctr.cacheMisses.Value(),
 		CacheSize:   int64(s.cache.len()),
+		IORetries:   s.ctr.ioRetries.Value(),
+		IOFailures:  s.ctr.ioFailures.Value(),
 	}
 }

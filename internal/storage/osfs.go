@@ -222,6 +222,20 @@ func (w *osWriter) Write(p []byte) (int, error) {
 	return w.f.Write(p)
 }
 
+// Sync implements SyncWriter: it flushes buffered data for the
+// in-progress temporary file to stable storage. The rename performed by
+// Close is what makes the file visible, so Sync-then-Close gives the
+// usual write-temp + fsync + rename crash-consistency recipe.
+func (w *osWriter) Sync() error {
+	if w.done || w.aborted {
+		return fmt.Errorf("storage: sync of closed file %s", w.final)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync %s: %w", w.final, err)
+	}
+	return nil
+}
+
 func (w *osWriter) Close() error {
 	if w.aborted {
 		return nil

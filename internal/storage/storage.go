@@ -44,6 +44,17 @@ type Writer interface {
 	Abort() error
 }
 
+// SyncWriter is optionally implemented by Writers whose data can be
+// forced to stable storage before Close. Checkpoint manifests use it to
+// get write-temp + sync + rename crash consistency; callers must treat
+// it as best-effort on volumes whose writers do not implement it (Mem
+// is trivially durable for the lifetime of the process).
+type SyncWriter interface {
+	Writer
+	// Sync flushes everything written so far to stable storage.
+	Sync() error
+}
+
 // RangeVolume is implemented by volumes that additionally support the
 // random-access pattern GraphChi's parallel sliding windows need:
 // reading a byte range of a shard and patching a byte range in place.

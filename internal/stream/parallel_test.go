@@ -262,7 +262,12 @@ func TestShufflerAppendTo(t *testing.T) {
 		t.Fatal(err)
 	}
 	for p := 0; p < 4; p++ {
-		b, err := storage.ReadAll(vol, fmt.Sprintf("upd_%d", p))
+		raw, err := storage.ReadAll(vol, fmt.Sprintf("upd_%d", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Update files are framed; decode down to the record payload.
+		b, err := graph.DeframeAll(raw)
 		if err != nil {
 			t.Fatal(err)
 		}

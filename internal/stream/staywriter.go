@@ -165,9 +165,14 @@ type StayFile struct {
 }
 
 // Begin creates a new stay file on the device described by timing and
-// starts accepting edges for it.
+// starts accepting edges for it. Stay files are written in the
+// checksummed framed format (one frame per private buffer): a stay
+// write torn by a crash or a fault injector is detected when the file
+// is adopted as the next iteration's input, turning silent corruption
+// into the already-safe cancellation path. timing.Retry, when set,
+// retries transient write faults on the writer goroutine.
 func (sw *StayWriter) Begin(name string, timing Timing) (*StayFile, error) {
-	w, err := sw.vol.Create(name)
+	w, err := createFramed(sw.vol, name, timing.Retry)
 	if err != nil {
 		return nil, err
 	}

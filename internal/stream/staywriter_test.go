@@ -41,7 +41,12 @@ func TestStayWriterWritesFileInBackground(t *testing.T) {
 	}
 	c.WaitUntil(f.ReadyAt())
 
-	data, err := storage.ReadAll(vol, "stay_0")
+	raw, err := storage.ReadAll(vol, "stay_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stay files are framed; the payload is the raw edge records.
+	data, err := graph.DeframeAll(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +259,11 @@ func TestStayWriterManyFilesInterleaved(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.WaitUntil(f.ReadyAt())
-		data, err := storage.ReadAll(vol, fmt.Sprintf("s%d", i))
+		raw, err := storage.ReadAll(vol, fmt.Sprintf("s%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := graph.DeframeAll(raw)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -30,6 +30,10 @@ const DefaultBufSize = 1 << 20
 type Timing struct {
 	Clock  *disksim.Clock
 	Device *disksim.Device
+	// Retry, when non-nil, makes every stream built with this Timing
+	// retry transient I/O faults with bounded backoff (wall-clock
+	// only — the virtual clock never observes retries).
+	Retry *Retrier
 }
 
 func (t Timing) read(n int64, sid disksim.StreamID) {
@@ -69,17 +73,22 @@ type Scanner[T any] struct {
 // NewScanner opens name on vol and streams its records. bufSize is
 // rounded up to hold at least one record.
 func NewScanner[T any](vol storage.Volume, name string, timing Timing, bufSize, recSize int, decode func([]byte) T) (*Scanner[T], error) {
-	r, err := vol.Open(name)
+	r, err := openRetrying(vol, name, timing.Retry)
 	if err != nil {
 		return nil, err
 	}
+	return newScannerOver(r, timing, bufSize, recSize, decode), nil
+}
+
+// newScannerOver builds a Scanner on an already-opened reader.
+func newScannerOver[T any](r storage.Reader, timing Timing, bufSize, recSize int, decode func([]byte) T) *Scanner[T] {
 	if bufSize < recSize {
 		bufSize = recSize
 	}
 	// Round the buffer down to a whole number of records so refills never
 	// split a record.
 	bufSize -= bufSize % recSize
-	return &Scanner[T]{r: r, timing: timing, sid: disksim.NewStreamID(), buf: make([]byte, bufSize), recSize: recSize, decode: decode}, nil
+	return &Scanner[T]{r: r, timing: timing, sid: disksim.NewStreamID(), buf: make([]byte, bufSize), recSize: recSize, decode: decode}
 }
 
 // Next returns the next record. ok is false at end of stream.
@@ -161,6 +170,9 @@ func (s *Scanner[T]) refill() error {
 	copy(s.buf, s.buf[s.pos:s.fill])
 	s.fill -= s.pos
 	s.pos = 0
+	// Fill the whole buffer (or hit EOF): short reads — the sniffed
+	// magic replay, frame boundaries — must not end a refill early, or
+	// a partial record would be mistaken for end of stream.
 	for s.fill < len(s.buf) {
 		n, err := s.r.Read(s.buf[s.fill:])
 		s.fill += n
@@ -170,9 +182,6 @@ func (s *Scanner[T]) refill() error {
 		}
 		if err != nil {
 			return fmt.Errorf("stream: scanner read: %w", err)
-		}
-		if n > 0 {
-			break
 		}
 	}
 	if s.fill > 0 {
@@ -213,14 +222,26 @@ func (s *Scanner[T]) Close() error {
 	return s.r.Close()
 }
 
-// NewEdgeScanner streams graph.Edge records from a file.
+// NewEdgeScanner streams graph.Edge records from a file. The reader
+// sniffs the frame magic: adopted stay files (framed, checksummed)
+// and raw edge partitions stream through the same scanner, and
+// integrity violations in framed inputs surface as errs.ErrCorrupted.
 func NewEdgeScanner(vol storage.Volume, name string, timing Timing, bufSize int) (*Scanner[graph.Edge], error) {
-	return NewScanner(vol, name, timing, bufSize, graph.EdgeBytes, graph.GetEdge)
+	r, err := openSniffed(vol, name, timing.Retry)
+	if err != nil {
+		return nil, err
+	}
+	return newScannerOver(r, timing, bufSize, graph.EdgeBytes, graph.GetEdge), nil
 }
 
-// NewUpdateScanner streams graph.Update records from a file.
+// NewUpdateScanner streams graph.Update records from a file, sniffing
+// the frame magic like NewEdgeScanner (update files are framed).
 func NewUpdateScanner(vol storage.Volume, name string, timing Timing, bufSize int) (*Scanner[graph.Update], error) {
-	return NewScanner(vol, name, timing, bufSize, graph.UpdateBytes, graph.GetUpdate)
+	r, err := openSniffed(vol, name, timing.Retry)
+	if err != nil {
+		return nil, err
+	}
+	return newScannerOver(r, timing, bufSize, graph.UpdateBytes, graph.GetUpdate), nil
 }
 
 // Writer buffers fixed-size records of type T into a file, flushing (and
@@ -247,15 +268,20 @@ type Writer[T any] struct {
 
 // NewWriter creates name on vol and buffers records into it.
 func NewWriter[T any](vol storage.Volume, name string, timing Timing, bufSize, recSize int, encode func([]byte, T)) (*Writer[T], error) {
-	w, err := vol.Create(name)
+	w, err := createRetrying(vol, name, timing.Retry)
 	if err != nil {
 		return nil, err
 	}
+	return newWriterOver(w, timing, bufSize, recSize, encode), nil
+}
+
+// newWriterOver builds a Writer on an already-created storage writer.
+func newWriterOver[T any](w storage.Writer, timing Timing, bufSize, recSize int, encode func([]byte, T)) *Writer[T] {
 	if bufSize < recSize {
 		bufSize = recSize
 	}
 	bufSize -= bufSize % recSize
-	return &Writer[T]{w: w, timing: timing, sid: disksim.NewStreamID(), buf: make([]byte, bufSize), recSize: recSize, encode: encode}, nil
+	return &Writer[T]{w: w, timing: timing, sid: disksim.NewStreamID(), buf: make([]byte, bufSize), recSize: recSize, encode: encode}
 }
 
 // Append adds one record, flushing if the buffer is full.
@@ -334,9 +360,15 @@ func NewEdgeWriter(vol storage.Volume, name string, timing Timing, bufSize int) 
 	return NewWriter(vol, name, timing, bufSize, graph.EdgeBytes, graph.PutEdge)
 }
 
-// NewUpdateWriter buffers graph.Update records into a file.
+// NewUpdateWriter buffers graph.Update records into a file, written in
+// the checksummed framed format (one frame per flush) so corruption is
+// detected when the next iteration gathers it.
 func NewUpdateWriter(vol storage.Volume, name string, timing Timing, bufSize int) (*Writer[graph.Update], error) {
-	return NewWriter(vol, name, timing, bufSize, graph.UpdateBytes, graph.PutUpdate)
+	w, err := createFramed(vol, name, timing.Retry)
+	if err != nil {
+		return nil, err
+	}
+	return newWriterOver(w, timing, bufSize, graph.UpdateBytes, graph.PutUpdate), nil
 }
 
 // Shuffler routes updates to per-destination-partition update files —

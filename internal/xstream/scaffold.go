@@ -149,6 +149,11 @@ type Options struct {
 	// as its time source, so traces are in simulated seconds. Nil
 	// disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// RetryAttempts overrides the transient-fault retry budget (total
+	// tries per I/O operation, first call included). 0 keeps
+	// stream.DefaultRetryAttempts; chaos runs with high injected fault
+	// rates raise it so exhaustion stays improbable.
+	RetryAttempts int
 }
 
 // SetDefaults fills unset fields with defaults.
@@ -210,6 +215,11 @@ type Runtime struct {
 
 	Clock *disksim.Clock
 	Costs disksim.Costs
+
+	// Retry is the run's transient-fault retry policy; every stream the
+	// engines build through MainTiming/AuxTiming shares it, so its
+	// counters are the run-wide retry/failure totals.
+	Retry *stream.Retrier
 
 	BytesRead    int64
 	BytesWritten int64
@@ -285,8 +295,31 @@ func NewRuntimeContext(ctx context.Context, vol storage.Volume, graphName string
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m, err := graph.LoadMeta(vol, graphName)
-	if err != nil {
+	// FASTBFS_FAULTS wraps the volume with seeded fault injection — the
+	// single chaos entry point, so every engine, the CLI and the serving
+	// layer get it uniformly. A volume that is already Faulty (a test
+	// drove the injection itself) is left alone.
+	if spec := os.Getenv("FASTBFS_FAULTS"); spec != "" {
+		if _, already := vol.(*storage.Faulty); !already {
+			fs, err := storage.ParseFaultSpec(spec)
+			if err != nil {
+				return nil, fmt.Errorf("xstream: FASTBFS_FAULTS: %w: %v", errs.ErrBadOptions, err)
+			}
+			if fs.Enabled() {
+				vol = storage.NewFaulty(vol, fs)
+			}
+		}
+	}
+	retry := stream.NewRetrier(ctx, uint64(opts.Root)+1)
+	retry.Attempts = opts.RetryAttempts
+	retry.RetryCounter = opts.Tracer.Counter(obs.CtrIORetries)
+	retry.FailureCounter = opts.Tracer.Counter(obs.CtrIOFailures)
+	var m graph.Meta
+	if err := retry.Do("load meta "+graphName, func() error {
+		var e error
+		m, e = graph.LoadMeta(vol, graphName)
+		return e
+	}); err != nil {
 		return nil, err
 	}
 	if uint64(opts.Root) >= m.Vertices {
@@ -303,7 +336,7 @@ func NewRuntimeContext(ctx context.Context, vol storage.Volume, graphName string
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{Vol: vol, Meta: m, Parts: parts, Opts: opts, ctx: ctx,
+	rt := &Runtime{Vol: vol, Meta: m, Parts: parts, Opts: opts, ctx: ctx, Retry: retry,
 		fileReady: make(map[string]*disksim.AsyncOp), wallStart: time.Now()}
 	if opts.Sim != nil {
 		if opts.Sim.MainDisk == nil {
@@ -315,7 +348,16 @@ func NewRuntimeContext(ctx context.Context, vol storage.Volume, graphName string
 		// the clock-derived ExecTime in the metrics record.
 		opts.Tracer.SetTimeSource(rt.Clock.Now)
 	}
-	if cv, ok := vol.(*storage.Counting); ok {
+	// Find a Counting volume even under the fault-injection wrapper.
+	inner := vol
+	for {
+		if f, ok := inner.(*storage.Faulty); ok {
+			inner = f.Inner()
+			continue
+		}
+		break
+	}
+	if cv, ok := inner.(*storage.Counting); ok {
 		rt.countVol = cv
 		rt.startIO = cv.Stats()
 	}
@@ -328,22 +370,24 @@ func (rt *Runtime) InMemory() bool {
 	return rt.Opts.MemoryBudget >= need
 }
 
-// MainTiming returns the stream timing for the main disk.
+// MainTiming returns the stream timing for the main disk. Wall mode
+// still carries the run's retry policy — retries are wall-clock-only
+// and exist in both modes.
 func (rt *Runtime) MainTiming() stream.Timing {
 	if rt.Clock == nil {
-		return stream.Timing{}
+		return stream.Timing{Retry: rt.Retry}
 	}
-	return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.MainDisk}
+	return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.MainDisk, Retry: rt.Retry}
 }
 
 // AuxTiming returns the stream timing for the update/stay-out disk —
 // the additional disk when configured, otherwise the main disk.
 func (rt *Runtime) AuxTiming() stream.Timing {
 	if rt.Clock == nil {
-		return stream.Timing{}
+		return stream.Timing{Retry: rt.Retry}
 	}
 	if rt.Opts.Sim.AuxDisk != nil {
-		return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.AuxDisk}
+		return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.AuxDisk, Retry: rt.Retry}
 	}
 	return rt.MainTiming()
 }
@@ -386,6 +430,8 @@ func (rt *Runtime) FinishMetrics(run *metrics.Run) {
 	run.Graph = rt.Meta.Name
 	run.BytesRead = rt.BytesRead
 	run.BytesWritten = rt.BytesWritten
+	run.IORetries = rt.Retry.Retries()
+	run.IOFailures = rt.Retry.Failures()
 	if rt.Clock != nil {
 		run.ExecTime = rt.Clock.Now()
 		run.IOWait = rt.Clock.IOWait()
@@ -431,9 +477,16 @@ func (rt *Runtime) UpdateFile(set, p int) string {
 	return fmt.Sprintf("%s_upd%d_%d", rt.Opts.FilePrefix, set, p)
 }
 
-// StayFile is partition p's stay file generated in iteration iter.
+// StayFile is partition p's stay file generated in iteration iter. The
+// name carries the full iteration (a per-generation name, not a
+// two-slot alternation): the engine may hold up to three generations at
+// once — the current input, the fallback it replaced (kept until the
+// input survives a verified read) and the pending write — and under
+// checkpointing a file named by the last durable manifest must never be
+// truncated by a later Create. Superseded generations are removed as
+// soon as they stop being referenced.
 func (rt *Runtime) StayFile(iter, p int) string {
-	return fmt.Sprintf("%s_stay%d_%d", rt.Opts.FilePrefix, iter%2, p)
+	return fmt.Sprintf("%s_stay%d_%d", rt.Opts.FilePrefix, iter, p)
 }
 
 // Cleanup removes every working file with the run's prefix.
@@ -535,10 +588,17 @@ func (rt *Runtime) InitVerts(p int) *Verts {
 
 // LoadVerts reads partition p's vertex-state file into memory.
 func (rt *Runtime) LoadVerts(p int) (*Verts, error) {
-	rt.AwaitFile(rt.VertexFile(p))
+	return rt.LoadVertsFile(p, rt.VertexFile(p))
+}
+
+// LoadVertsFile is LoadVerts from an explicitly named vertex file —
+// checkpointed runs keep one vertex file per iteration generation, so
+// resume must name which generation to load.
+func (rt *Runtime) LoadVertsFile(p int, name string) (*Verts, error) {
+	rt.AwaitFile(name)
 	lo, hi := rt.Parts.Interval(p)
 	n := int(hi - lo)
-	sc, err := stream.NewScanner(rt.Vol, rt.VertexFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, vertRecBytes,
+	sc, err := stream.NewScanner(rt.Vol, name, rt.MainTiming(), rt.Opts.StreamBufSize, vertRecBytes,
 		func(b []byte) vertRec {
 			u := graph.GetUpdate(b) // same layout: two little-endian uint32
 			return vertRec{level: uint32(u.Dst), parent: u.Parent}
@@ -554,7 +614,7 @@ func (rt *Runtime) LoadVerts(p int) (*Verts, error) {
 			return nil, err
 		}
 		if !ok {
-			return nil, fmt.Errorf("xstream: vertex file %s truncated at record %d of %d", rt.VertexFile(p), i, n)
+			return nil, fmt.Errorf("xstream: vertex file %s truncated at record %d of %d", name, i, n)
 		}
 		v.Level[i] = rec.level
 		v.Parent[i] = rec.parent
@@ -568,7 +628,13 @@ func (rt *Runtime) LoadVerts(p int) (*Verts, error) {
 // vertices of each partition should be saved back to disk after each
 // iteration", §II-A).
 func (rt *Runtime) SaveVerts(p int, v *Verts) error {
-	w, err := stream.NewWriter(rt.Vol, rt.VertexFile(p), rt.MainTiming(), rt.Opts.StreamBufSize, vertRecBytes,
+	return rt.SaveVertsFile(p, rt.VertexFile(p), v)
+}
+
+// SaveVertsFile is SaveVerts to an explicitly named vertex file (see
+// LoadVertsFile).
+func (rt *Runtime) SaveVertsFile(p int, name string, v *Verts) error {
+	w, err := stream.NewWriter(rt.Vol, name, rt.MainTiming(), rt.Opts.StreamBufSize, vertRecBytes,
 		func(b []byte, rec vertRec) {
 			graph.PutUpdate(b, graph.Update{Dst: graph.VertexID(rec.level), Parent: rec.parent})
 		})
@@ -586,7 +652,7 @@ func (rt *Runtime) SaveVerts(p int, v *Verts) error {
 		return err
 	}
 	rt.BytesWritten += w.BytesWritten()
-	rt.RegisterReady(rt.VertexFile(p), w.LastOp())
+	rt.RegisterReady(name, w.LastOp())
 	rt.Compute(float64(len(v.Level)) * rt.Costs.PerVertex)
 	return nil
 }
@@ -607,18 +673,30 @@ func (rt *Runtime) MarkRoot(v *Verts) bool {
 // vertex file. It does not charge I/O time: dumping the result is
 // outside the measured execution, like the paper's output step.
 func (rt *Runtime) CollectResult() (*Result, error) {
+	return rt.CollectResultFrom(rt.VertexFile)
+}
+
+// CollectResultFrom is CollectResult reading each partition's vertex
+// state from the file nameFor(p) — resume from a checkpoint collects
+// the manifest's recorded generation instead of the default names.
+func (rt *Runtime) CollectResultFrom(nameFor func(p int) string) (*Result, error) {
 	res := &Result{
 		Levels:  make([]uint32, rt.Meta.Vertices),
 		Parents: make([]graph.VertexID, rt.Meta.Vertices),
 	}
 	for p := 0; p < rt.Parts.P(); p++ {
-		b, err := storage.ReadAll(rt.Vol, rt.VertexFile(p))
-		if err != nil {
+		name := nameFor(p)
+		var b []byte
+		if err := rt.Retry.Do("collect "+name, func() error {
+			var e error
+			b, e = storage.ReadAll(rt.Vol, name)
+			return e
+		}); err != nil {
 			return nil, err
 		}
 		lo, hi := rt.Parts.Interval(p)
 		if len(b) != int(hi-lo)*vertRecBytes {
-			return nil, fmt.Errorf("xstream: vertex file %s has %d bytes, want %d", rt.VertexFile(p), len(b), int(hi-lo)*vertRecBytes)
+			return nil, fmt.Errorf("xstream: vertex file %s has %d bytes, want %d", name, len(b), int(hi-lo)*vertRecBytes)
 		}
 		for i := 0; i < int(hi-lo); i++ {
 			u := graph.GetUpdate(b[i*vertRecBytes:])
