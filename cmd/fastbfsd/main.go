@@ -10,22 +10,31 @@
 //	         [-sim] [-simscale 2048] [-residency-budget 64M]
 //	         [-max-inflight 4] [-max-queue 8] [-cache 64]
 //	         [-drain-timeout 30s] [-debugaddr localhost:6060]
+//	         [-tracefile serve.jsonl] [-slow-query 500ms]
 //
 // Endpoints:
 //
 //	POST /query   {"algorithm":"bfs|msbfs|sssp","engine":"fastbfs|xstream|graphchi",
 //	               "root":1,"roots":[..],"max_iterations":0,"timeout_ms":0,
 //	               "no_cache":false,"include_values":false}
-//	GET  /healthz liveness plus live service counters
+//	GET  /healthz liveness, uptime, build info plus live service counters
+//	GET  /metrics serve counters + latency histograms, Prometheus text
 //
 // Saturated admission returns 429, a blown server-side deadline 504, a
 // malformed query 400. SIGINT/SIGTERM drain gracefully: the listener
 // stops accepting, in-flight queries run to completion (bounded by
 // -drain-timeout), then the process exits.
 //
+// Every query gets a trace ID (client-supplied X-Request-Id or minted),
+// returned in the response and stamped into the -tracefile JSONL spans,
+// so one slow request can be chased from client to trace with
+// `tracecat -trace ID`. At drain the daemon appends its final counter
+// and latency-histogram snapshots to the trace. -slow-query logs every
+// query at or over the threshold to stderr as one JSON line.
+//
 // -debugaddr serves net/http/pprof, expvar counters (including the
-// serve_* admission/cache counters) and a plain-text stats page, like
-// cmd/fastbfs.
+// serve_* admission/cache counters and latency quantiles) and a
+// plain-text stats page, like cmd/fastbfs.
 package main
 
 import (
@@ -67,6 +76,8 @@ func main() {
 	cacheEntries := flag.Int("cache", 64, "result-cache entries (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	debugAddr := flag.String("debugaddr", "", "serve pprof, expvar counters and a stats page on this address")
+	traceFile := flag.String("tracefile", "", "append JSONL trace events (serve_query spans, drain telemetry) to this file")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at or over this end-to-end latency to stderr (0 disables)")
 	flag.Parse()
 
 	if *name == "" {
@@ -100,15 +111,28 @@ func main() {
 		base.Base.Sim = cfg
 	}
 
-	tr := obs.New()
+	var sinks []obs.Sink
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	tr := obs.New(sinks...)
 	defer tr.Close()
-	svc, err := serve.New(vol, *name, serve.Config{
+	cfg := serve.Config{
 		MaxInFlight:  *maxInFlight,
 		MaxQueue:     *maxQueue,
 		CacheEntries: *cacheEntries,
 		Base:         base,
 		Tracer:       tr,
-	})
+	}
+	if *slowQuery > 0 {
+		cfg.SlowQueryThreshold = *slowQuery
+		cfg.SlowQueryLog = os.Stderr
+	}
+	svc, err := serve.New(vol, *name, cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -146,17 +170,38 @@ func main() {
 	if err := server.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "fastbfsd: http shutdown:", err)
 	}
-	if err := svc.Shutdown(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "fastbfsd: drain:", err)
+	drainErr := svc.Shutdown(drainCtx)
+	// The final counter and histogram snapshots go to the trace either
+	// way: an aborted drain is exactly when the telemetry matters.
+	tr.EmitCounters()
+	tr.EmitHistograms()
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "fastbfsd: drain:", drainErr)
+		tr.Close() // os.Exit skips the deferred flush
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "fastbfsd: drained")
 }
 
 // serveDebug starts the debug HTTP server: pprof, expvar (service
-// counters published as "fastbfsd") and a plain-text stats page at /.
+// counters as "fastbfsd", latency quantiles as "fastbfsd_latency") and
+// a plain-text stats page at /.
 func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
 	expvar.Publish("fastbfsd", expvar.Func(func() any { return tr.CounterMap() }))
+	expvar.Publish("fastbfsd_latency", expvar.Func(func() any {
+		out := make(map[string]map[string]float64)
+		for _, s := range tr.HistogramSnapshots() {
+			out[s.Key()] = map[string]float64{
+				"count": float64(s.Count),
+				"p50":   s.Quantile(0.50).Seconds(),
+				"p90":   s.Quantile(0.90).Seconds(),
+				"p99":   s.Quantile(0.99).Seconds(),
+				"p999":  s.Quantile(0.999).Seconds(),
+				"max":   s.Max.Seconds(),
+			}
+		}
+		return out
+	}))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -183,6 +228,23 @@ func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
 		fmt.Fprintf(w, "%-22s %d\n", "cache_size", st.CacheSize)
 		fmt.Fprintf(w, "%-22s %d\n", "io_retries", st.IORetries)
 		fmt.Fprintf(w, "%-22s %d\n", "io_failures", st.IOFailures)
+		fmt.Fprintf(w, "%-22s %d\n", "slow_queries", st.SlowQueries)
+		fmt.Fprintf(w, "%-22s %.1f\n", "uptime_s", svc.Uptime().Seconds())
+		tel := svc.Telemetry()
+		if len(tel.Histograms) > 0 {
+			fmt.Fprintf(w, "\nlatency (seconds):\n%-64s %8s %10s %10s %10s %10s %10s\n",
+				"histogram", "count", "p50", "p90", "p99", "p999", "max")
+			for _, s := range tel.Histograms {
+				if s.Count == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%-64s %8d %10.6f %10.6f %10.6f %10.6f %10.6f\n",
+					s.Key(), s.Count,
+					s.Quantile(0.50).Seconds(), s.Quantile(0.90).Seconds(),
+					s.Quantile(0.99).Seconds(), s.Quantile(0.999).Seconds(),
+					s.Max.Seconds())
+			}
+		}
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

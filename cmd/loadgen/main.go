@@ -1,0 +1,151 @@
+// Command loadgen drives an open-loop query load against a running
+// fastbfsd and reports QPS and client-side latency percentiles per
+// traffic mix, writing a machine-readable bench document
+// (fastbfs/bench-serve/v1) for the repo's perf trajectory.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8090 [-qps 200] [-duration 10s]
+//	        [-mix bfs-hot,bfs-cold,mixed] [-seed 1] [-out BENCH_serve_v1.json]
+//	        [-timeout 30s] [-max-outstanding 256]
+//	        [-min-qps 0] [-check-metrics]
+//
+// Mixes run sequentially against the same daemon (a warm-cache mix run
+// after a cold one inherits the cache the cold one populated; order the
+// -mix list accordingly). -min-qps makes the run a gate: if any mix
+// achieves less, the exit status is 1 — this is what CI's smoke cell
+// uses. -check-metrics scrapes and validates GET /metrics after the
+// load, so the exposition format is covered by a live scrape too.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fastbfs/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8090", "fastbfsd base URL")
+	qps := flag.Float64("qps", 200, "offered arrival rate per mix")
+	duration := flag.Duration("duration", 10*time.Second, "arrival window per mix")
+	mixes := flag.String("mix", "bfs-hot,bfs-cold,mixed", "comma-separated mix presets, run in order")
+	seed := flag.Int64("seed", 1, "query-stream seed (same seed, same stream)")
+	out := flag.String("out", "", "write the bench JSON here (default stdout only)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	maxOut := flag.Int("max-outstanding", 256, "cap on in-flight requests; arrivals beyond it are dropped")
+	minQPS := flag.Float64("min-qps", 0, "fail (exit 1) if any mix achieves less than this")
+	checkMetrics := flag.Bool("check-metrics", false, "scrape and validate /metrics after the load")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: *timeout}
+
+	graphName, vertices, edges, goVersion, err := loadgen.Discover(ctx, client, *addr)
+	if err != nil {
+		fail(err)
+	}
+	bench := loadgen.Bench{
+		Schema:   loadgen.Schema,
+		Graph:    graphName,
+		Vertices: vertices,
+		Edges:    edges,
+		Server:   goVersion,
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: target %s serving %s (%d vertices, %d edges)\n",
+		*addr, graphName, vertices, edges)
+
+	belowFloor := false
+	for _, name := range strings.Split(*mixes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		mix, err := loadgen.ParseMix(name)
+		if err != nil {
+			fail(err)
+		}
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Addr:           *addr,
+			QPS:            *qps,
+			Duration:       *duration,
+			Mix:            mix,
+			Seed:           *seed,
+			Timeout:        *timeout,
+			MaxOutstanding: *maxOut,
+			Client:         client,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"loadgen: %-8s %7.1f qps (target %g)  ok=%d busy=%d other=%d  p50=%.2fms p90=%.2fms p99=%.2fms  cache_hits=%d dropped=%d\n",
+			mix.Name, res.AchievedQPS, res.TargetQPS,
+			res.Outcomes["ok"], res.Outcomes["busy"], completedOther(res),
+			res.Latency.P50*1e3, res.Latency.P90*1e3, res.Latency.P99*1e3,
+			res.CacheHits, res.Dropped)
+		if *minQPS > 0 && res.AchievedQPS < *minQPS {
+			fmt.Fprintf(os.Stderr, "loadgen: mix %s achieved %.1f qps, below the -min-qps floor %g\n",
+				mix.Name, res.AchievedQPS, *minQPS)
+			belowFloor = true
+		}
+		bench.Results = append(bench.Results, *res)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: interrupted")
+			break
+		}
+	}
+
+	if *checkMetrics {
+		samples, err := loadgen.CheckMetrics(ctx, client, *addr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: /metrics ok (%d samples)\n", samples)
+	}
+
+	if err := loadgen.WriteBench(os.Stdout, bench); err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := loadgen.WriteBench(f, bench); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	}
+	if belowFloor {
+		os.Exit(1)
+	}
+}
+
+// completedOther counts completions that were neither ok nor busy —
+// timeouts, network errors, unexpected statuses.
+func completedOther(r *loadgen.Result) uint64 {
+	var n uint64
+	for k, v := range r.Outcomes {
+		if k != "ok" && k != "busy" {
+			n += v
+		}
+	}
+	return n
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,425 @@
+// Package loadgen drives an open-loop query load against a running
+// fastbfsd and measures QPS and latency percentiles from the client
+// side.
+//
+// Open loop means arrivals are scheduled by a fixed-rate clock, not by
+// request completions: if the server slows down, requests pile up (up
+// to MaxOutstanding) instead of the generator politely slowing its
+// offered load, which is how production traffic behaves and what makes
+// the measured latency honest under saturation. A closed loop — issue,
+// wait, issue — would coordinate with the server and hide queueing
+// delay (the coordinated-omission trap).
+//
+// Latencies are recorded into the same log-bucketed histogram the
+// server uses (internal/obs), so client-side and server-side
+// percentiles are directly comparable, with the same ≤6.25% bucket
+// error.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastbfs/internal/obs"
+)
+
+// Schema identifies the bench JSON this package writes.
+const Schema = "fastbfs/bench-serve/v1"
+
+// Mix describes one traffic shape: the algorithm blend and how root
+// keys are drawn, which is what decides the cache-hit rate.
+type Mix struct {
+	Name string `json:"name"`
+	// BFS/MSBFS/SSSP are relative weights; zero weights drop the
+	// algorithm from the mix.
+	BFS   int `json:"bfs"`
+	MSBFS int `json:"msbfs"`
+	SSSP  int `json:"sssp"`
+	// HotFraction of queries draw their root from a HotSetSize-sized
+	// set, so they repeat and (after first touch) hit the result cache.
+	// The remainder draw from the whole vertex space.
+	HotFraction float64 `json:"hot_fraction"`
+	HotSetSize  int     `json:"hot_set_size"`
+	// NoCache forces every query to bypass the result cache: a pure
+	// engine-throughput mix.
+	NoCache bool `json:"no_cache"`
+	// Engine pins the executing engine ("" = server default).
+	Engine string `json:"engine,omitempty"`
+}
+
+// Mixes are the named presets accepted by ParseMix (and cmd/loadgen
+// -mix).
+var Mixes = []Mix{
+	{Name: "bfs-hot", BFS: 1, HotFraction: 1.0, HotSetSize: 8},
+	{Name: "bfs-cold", BFS: 1, NoCache: true},
+	{Name: "mixed", BFS: 3, MSBFS: 1, SSSP: 1, HotFraction: 0.5, HotSetSize: 16},
+}
+
+// ParseMix resolves a preset name.
+func ParseMix(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	known := make([]string, len(Mixes))
+	for i, m := range Mixes {
+		known[i] = m.Name
+	}
+	return Mix{}, fmt.Errorf("loadgen: unknown mix %q (have %s)", name, strings.Join(known, ", "))
+}
+
+// Config tunes one load run.
+type Config struct {
+	// Addr is the fastbfsd base URL, e.g. "http://localhost:8090".
+	Addr string
+	// QPS is the offered arrival rate. Must be > 0.
+	QPS float64
+	// Duration is how long arrivals are generated; the run then waits
+	// for stragglers.
+	Duration time.Duration
+	Mix      Mix
+	// Seed makes the query stream reproducible.
+	Seed int64
+	// Timeout bounds each request client-side. Default 30s.
+	Timeout time.Duration
+	// MaxOutstanding caps concurrently in-flight requests; arrivals
+	// beyond the cap are counted as dropped rather than queued (the
+	// generator must not itself become the bottleneck being measured).
+	// Default 256.
+	MaxOutstanding int
+	// Client overrides the HTTP client (tests). Default uses Timeout.
+	Client *http.Client
+}
+
+// Percentiles summarizes a latency distribution, in seconds.
+type Percentiles struct {
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	Count uint64  `json:"count"`
+}
+
+// Result is one mix's measured outcome.
+type Result struct {
+	Mix       Mix     `json:"mix"`
+	TargetQPS float64 `json:"target_qps"`
+	Seed      int64   `json:"seed"`
+	// DurationS is the measured wall time from first arrival to last
+	// completion.
+	DurationS float64 `json:"duration_s"`
+	// Offered arrivals = Started + Dropped (MaxOutstanding overflow).
+	Offered uint64 `json:"offered"`
+	Started uint64 `json:"started"`
+	Dropped uint64 `json:"dropped"`
+	// AchievedQPS counts completed requests (any outcome) over the
+	// measured duration.
+	AchievedQPS float64           `json:"achieved_qps"`
+	Outcomes    map[string]uint64 `json:"outcomes"`
+	// CacheHits counts 200s whose response declared cached=true.
+	CacheHits uint64 `json:"cache_hits"`
+	// Latency aggregates ok responses only; errors are cheap and would
+	// flatter the percentiles.
+	Latency Percentiles `json:"latency_s"`
+}
+
+// Bench is the BENCH_serve_v1.json document: one run of several mixes
+// against one daemon.
+type Bench struct {
+	Schema   string   `json:"schema"`
+	Graph    string   `json:"graph"`
+	Vertices uint64   `json:"vertices"`
+	Edges    uint64   `json:"edges"`
+	Server   string   `json:"server"`
+	Results  []Result `json:"results"`
+}
+
+// health mirrors the fields of GET /healthz that the generator needs.
+type health struct {
+	Status    string  `json:"status"`
+	Graph     string  `json:"graph"`
+	Vertices  uint64  `json:"vertices"`
+	Edges     uint64  `json:"edges"`
+	GoVersion string  `json:"go_version"`
+	UptimeS   float64 `json:"uptime_s"`
+}
+
+// Discover queries /healthz for the graph being served; Run calls it
+// implicitly, cmd/loadgen uses it to stamp the bench document.
+func Discover(ctx context.Context, client *http.Client, addr string) (graphName string, vertices, edges uint64, goVersion string, err error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", addr+"/healthz", nil)
+	if err != nil {
+		return "", 0, 0, "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, 0, "", fmt.Errorf("loadgen: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var h health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return "", 0, 0, "", fmt.Errorf("loadgen: healthz decode: %w", err)
+	}
+	if h.Vertices == 0 {
+		return "", 0, 0, "", fmt.Errorf("loadgen: healthz reports an empty graph")
+	}
+	return h.Graph, h.Vertices, h.Edges, h.GoVersion, nil
+}
+
+// query is the request body sent to POST /query (mirrors serve's
+// httpQuery; loadgen deliberately speaks only the wire protocol).
+type query struct {
+	Algorithm string   `json:"algorithm"`
+	Engine    string   `json:"engine,omitempty"`
+	Root      uint32   `json:"root,omitempty"`
+	Roots     []uint32 `json:"roots,omitempty"`
+	NoCache   bool     `json:"no_cache,omitempty"`
+}
+
+// nextQuery draws one query from the mix. It runs on the arrival
+// goroutine only, so the rng needs no locking and the stream is
+// reproducible from the seed.
+func nextQuery(rng *rand.Rand, mix Mix, vertices uint64) query {
+	total := mix.BFS + mix.MSBFS + mix.SSSP
+	if total <= 0 {
+		total, mix.BFS = 1, 1
+	}
+	algo := "bfs"
+	switch p := rng.Intn(total); {
+	case p < mix.BFS:
+		algo = "bfs"
+	case p < mix.BFS+mix.MSBFS:
+		algo = "msbfs"
+	default:
+		algo = "sssp"
+	}
+	root := func() uint32 {
+		hot := mix.HotSetSize
+		if hot <= 0 {
+			hot = 8
+		}
+		if mix.HotFraction > 0 && rng.Float64() < mix.HotFraction {
+			return uint32(rng.Intn(hot)) % uint32(vertices)
+		}
+		return uint32(rng.Int63n(int64(vertices)))
+	}
+	q := query{Algorithm: algo, Engine: mix.Engine, NoCache: mix.NoCache}
+	if algo == "msbfs" {
+		for i := 0; i < 4; i++ {
+			q.Roots = append(q.Roots, root())
+		}
+	} else {
+		q.Root = root()
+	}
+	return q
+}
+
+// classify maps a response to an outcome bucket, mirroring the server's
+// outcome taxonomy so the two sides can be joined in analysis.
+func classify(status int) string {
+	switch status {
+	case http.StatusOK:
+		return "ok"
+	case http.StatusTooManyRequests:
+		return "busy"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusBadRequest:
+		return "bad_request"
+	}
+	return fmt.Sprintf("http_%d", status)
+}
+
+// Run generates cfg.Duration of open-loop arrivals and returns the
+// measured result. ctx cancellation stops the run early (the partial
+// result is still returned).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: QPS must be > 0, got %v", cfg.QPS)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be > 0, got %v", cfg.Duration)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 256
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	_, vertices, _, _, err := Discover(ctx, client, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Mix:       cfg.Mix,
+		TargetQPS: cfg.QPS,
+		Seed:      cfg.Seed,
+		Outcomes:  make(map[string]uint64),
+	}
+	var (
+		wg          sync.WaitGroup
+		outstanding atomic.Int64
+		completed   atomic.Uint64
+		cacheHits   atomic.Uint64
+		mu          sync.Mutex // guards res.Outcomes
+		hist        = obs.NewHistogram("client_e2e_seconds", nil)
+	)
+	record := func(outcome string, d time.Duration, cached bool) {
+		completed.Add(1)
+		if outcome == "ok" {
+			hist.Observe(d)
+			if cached {
+				cacheHits.Add(1)
+			}
+		}
+		mu.Lock()
+		res.Outcomes[outcome]++
+		mu.Unlock()
+	}
+	issue := func(q query) {
+		defer wg.Done()
+		defer outstanding.Add(-1)
+		body, _ := json.Marshal(q)
+		start := time.Now()
+		req, err := http.NewRequest("POST", cfg.Addr+"/query", bytes.NewReader(body))
+		if err != nil {
+			record("net_error", 0, false)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			record("net_error", time.Since(start), false)
+			return
+		}
+		var hr struct {
+			Cached bool `json:"cached"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&hr)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		record(classify(resp.StatusCode), time.Since(start), hr.Cached)
+	}
+
+	// The arrival loop: one goroutine owns the rng and the clock.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	start := time.Now()
+	stop := time.After(cfg.Duration)
+arrivals:
+	for {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-stop:
+			break arrivals
+		case <-tick.C:
+			res.Offered++
+			q := nextQuery(rng, cfg.Mix, vertices)
+			if outstanding.Load() >= int64(cfg.MaxOutstanding) {
+				res.Dropped++
+				continue
+			}
+			res.Started++
+			outstanding.Add(1)
+			wg.Add(1)
+			go issue(q)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.DurationS = elapsed.Seconds()
+	if res.DurationS > 0 {
+		res.AchievedQPS = float64(completed.Load()) / res.DurationS
+	}
+	res.CacheHits = cacheHits.Load()
+	s := hist.Snapshot()
+	res.Latency = Percentiles{
+		P50:   s.Quantile(0.50).Seconds(),
+		P90:   s.Quantile(0.90).Seconds(),
+		P99:   s.Quantile(0.99).Seconds(),
+		Max:   s.Max.Seconds(),
+		Count: s.Count,
+	}
+	if s.Count > 0 {
+		res.Latency.Mean = s.Sum.Seconds() / float64(s.Count)
+	}
+	return res, nil
+}
+
+// promSample matches one sample line of the Prometheus text format.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[-+]?[0-9.eE+-]+|\+Inf)$`)
+
+// CheckMetrics fetches addr/metrics and validates that every line is
+// either a comment or a well-formed sample, returning the sample count.
+// cmd/loadgen's -check-metrics and the CI smoke test use it to catch
+// exposition-format regressions with a live scrape, not just unit
+// tests.
+func CheckMetrics(ctx context.Context, client *http.Client, addr string) (samples int, err error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", addr+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("loadgen: metrics: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			return samples, fmt.Errorf("loadgen: unparseable metrics line: %q", line)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("loadgen: metrics page has no samples")
+	}
+	return samples, nil
+}
+
+// WriteBench renders the bench document as stable, diff-friendly JSON.
+func WriteBench(w io.Writer, b Bench) error {
+	sort.Slice(b.Results, func(i, j int) bool { return b.Results[i].Mix.Name < b.Results[j].Mix.Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

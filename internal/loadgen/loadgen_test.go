@@ -1,0 +1,170 @@
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fastbfs/internal/core"
+	"fastbfs/internal/gen"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/loadgen"
+	"fastbfs/internal/serve"
+	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
+)
+
+// testServer stands up a real GraphService over a small stored graph so
+// the generator is exercised against the actual wire protocol.
+func testServer(t *testing.T) (*httptest.Server, graph.Meta) {
+	t.Helper()
+	vol := storage.NewMem()
+	m, edges, err := gen.RMAT(8, 8, gen.Graph500(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Store(vol, m, edges); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serve.New(vol, m.Name, serve.Config{
+		Base: core.Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+	return ts, m
+}
+
+func TestParseMix(t *testing.T) {
+	for _, name := range []string{"bfs-hot", "bfs-cold", "mixed"} {
+		m, err := loadgen.ParseMix(name)
+		if err != nil || m.Name != name {
+			t.Fatalf("ParseMix(%q) = %+v, %v", name, m, err)
+		}
+	}
+	if _, err := loadgen.ParseMix("nope"); err == nil || !strings.Contains(err.Error(), "bfs-hot") {
+		t.Fatalf("unknown mix error should list presets, got %v", err)
+	}
+}
+
+func TestRunAgainstLiveService(t *testing.T) {
+	ts, m := testServer(t)
+
+	mix, _ := loadgen.ParseMix("bfs-hot")
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:     ts.URL,
+		QPS:      200,
+		Duration: 500 * time.Millisecond,
+		Mix:      mix,
+		Seed:     42,
+		Timeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Started == 0 {
+		t.Fatalf("no arrivals generated: %+v", res)
+	}
+	if res.Offered != res.Started+res.Dropped {
+		t.Fatalf("offered %d != started %d + dropped %d", res.Offered, res.Started, res.Dropped)
+	}
+	if res.Outcomes["ok"] == 0 {
+		t.Fatalf("no successful queries: %+v", res.Outcomes)
+	}
+	if res.AchievedQPS <= 0 {
+		t.Fatalf("achieved QPS = %v", res.AchievedQPS)
+	}
+	if res.Latency.Count != res.Outcomes["ok"] {
+		t.Fatalf("latency count %d != ok count %d", res.Latency.Count, res.Outcomes["ok"])
+	}
+	if res.Latency.P50 <= 0 || res.Latency.P99 < res.Latency.P50 || res.Latency.Max < res.Latency.P99 {
+		t.Fatalf("latency percentiles not ordered: %+v", res.Latency)
+	}
+	// A hot mix over 8 roots must hit the cache once the set is warm.
+	if res.CacheHits == 0 {
+		t.Fatalf("bfs-hot produced no cache hits: %+v", res)
+	}
+
+	// A cold mix bypasses the cache entirely.
+	mixCold, _ := loadgen.ParseMix("bfs-cold")
+	resCold, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr: ts.URL, QPS: 100, Duration: 300 * time.Millisecond, Mix: mixCold, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCold.CacheHits != 0 {
+		t.Fatalf("bfs-cold hit the cache %d times", resCold.CacheHits)
+	}
+	if resCold.Outcomes["ok"] == 0 {
+		t.Fatalf("cold mix produced no successes: %+v", resCold.Outcomes)
+	}
+
+	// The live /metrics scrape must parse, and the bench document must
+	// round-trip with the schema tag.
+	samples, err := loadgen.CheckMetrics(context.Background(), ts.Client(), ts.URL)
+	if err != nil || samples == 0 {
+		t.Fatalf("CheckMetrics: %d, %v", samples, err)
+	}
+	var sb strings.Builder
+	err = loadgen.WriteBench(&sb, loadgen.Bench{
+		Schema: loadgen.Schema, Graph: m.Name, Vertices: m.Vertices, Edges: m.Edges,
+		Results: []loadgen.Result{*resCold, *res},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back loadgen.Bench
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != "fastbfs/bench-serve/v1" || len(back.Results) != 2 {
+		t.Fatalf("bench round-trip: %+v", back)
+	}
+	// WriteBench sorts by mix name for diff stability.
+	if back.Results[0].Mix.Name != "bfs-cold" || back.Results[1].Mix.Name != "bfs-hot" {
+		t.Fatalf("bench results not sorted: %s, %s", back.Results[0].Mix.Name, back.Results[1].Mix.Name)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	mix, _ := loadgen.ParseMix("mixed")
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{Addr: "http://x", QPS: 0, Duration: time.Second, Mix: mix}); err == nil {
+		t.Fatal("QPS=0 accepted")
+	}
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{Addr: "http://x", QPS: 1, Duration: 0, Mix: mix}); err == nil {
+		t.Fatal("duration=0 accepted")
+	}
+	// An unreachable server fails discovery, not the arrival loop.
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr: "http://127.0.0.1:1", QPS: 1, Duration: time.Second, Mix: mix, Timeout: 200 * time.Millisecond,
+	}); err == nil || !strings.Contains(err.Error(), "healthz") {
+		t.Fatalf("unreachable server: %v", err)
+	}
+}
+
+func TestRunStopsOnContextCancel(t *testing.T) {
+	ts, _ := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	mix, _ := loadgen.ParseMix("mixed")
+	start := time.Now()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Addr: ts.URL, QPS: 50, Duration: time.Hour, Mix: mix, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancelled run did not stop promptly")
+	}
+	if res.Offered == 0 {
+		t.Fatalf("cancelled run generated nothing: %+v", res)
+	}
+}

@@ -1,0 +1,497 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram with logarithmic buckets:
+// 16 linear sub-buckets per power of two of nanoseconds, so any recorded
+// duration is attributed to a bucket whose width is at most 1/16 of its
+// lower bound. Quantile estimates therefore carry a bounded relative
+// error of 6.25% (they report the bucket's upper edge, clamped to the
+// observed maximum), which TestHistogramQuantileErrorBound verifies
+// against a sorted-sample oracle.
+//
+// Observe is the hot path: one atomic add on a fixed-size bucket array
+// plus atomic min/max/sum maintenance — no locks, no allocations
+// (BenchmarkHistogramObserve asserts 0 allocs/op), safe from any number
+// of goroutines. Like the rest of the package it is nil-safe: every
+// method on a nil *Histogram is a no-op, so callers can instrument
+// unconditionally.
+//
+// Histograms are mergeable through their snapshots: Snapshot captures a
+// consistent sparse view (count always equals the sum of bucket counts)
+// and HistogramSnapshot.Merge is associative, so per-worker or per-mix
+// histograms aggregate exactly.
+type Histogram struct {
+	name   string
+	labels map[string]string // immutable after construction
+
+	buckets [numHistBuckets]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; minSentinel until first Observe
+	max     atomic.Int64 // nanoseconds
+	ex      atomic.Pointer[Exemplar]
+}
+
+// Exemplar is the slowest observation a histogram has seen, tagged with
+// the trace ID of the request that produced it — the pointer from a p99
+// spike on a dashboard back to one concrete query in the JSONL trace.
+type Exemplar struct {
+	Dur   time.Duration `json:"dur_ns"`
+	Trace string        `json:"trace,omitempty"`
+}
+
+const (
+	// histSubBits is log2 of the linear sub-buckets per octave.
+	histSubBits = 4
+	histSubs    = 1 << histSubBits
+	// numHistBuckets covers the full uint64 nanosecond range:
+	// buckets 0..15 hold the exact values 0..15ns; every later block of
+	// 16 splits one power of two.
+	numHistBuckets = (64-histSubBits)*histSubs + histSubs
+
+	minSentinel = int64(^uint64(0) >> 1) // MaxInt64: "no observation yet"
+)
+
+// NewHistogram returns a standalone histogram (the load generator's
+// client-side latencies). Histograms shared through a Tracer come from
+// Tracer.Histogram instead. The labels map is copied.
+func NewHistogram(name string, labels map[string]string) *Histogram {
+	h := &Histogram{name: name, labels: copyLabels(labels)}
+	h.min.Store(minSentinel)
+	return h
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// histBucket maps a non-negative nanosecond value to its bucket index.
+func histBucket(v uint64) int {
+	if v < histSubs {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= histSubBits
+	sub := (v >> (uint(exp) - histSubBits)) & (histSubs - 1)
+	return (exp-histSubBits+1)<<histSubBits + int(sub)
+}
+
+// histBucketLower returns the smallest nanosecond value the bucket holds.
+func histBucketLower(idx int) uint64 {
+	if idx < histSubs {
+		return uint64(idx)
+	}
+	exp := uint(idx>>histSubBits) + histSubBits - 1
+	sub := uint64(idx & (histSubs - 1))
+	return 1<<exp + sub<<(exp-histSubBits)
+}
+
+// histBucketUpper returns the bucket's exclusive upper edge — the value
+// a quantile estimate reports.
+func histBucketUpper(idx int) uint64 {
+	if idx+1 >= numHistBuckets {
+		return ^uint64(0)
+	}
+	return histBucketLower(idx + 1)
+}
+
+// Name returns the histogram's registered name ("" on nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Labels returns the histogram's label set (shared; do not mutate).
+func (h *Histogram) Labels() map[string]string {
+	if h == nil {
+		return nil
+	}
+	return h.labels
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	v := int64(d)
+	h.buckets[histBucket(uint64(v))].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveTrace records a duration and offers it as the histogram's
+// exemplar: the slowest observation wins and keeps its trace ID.
+func (h *Histogram) ObserveTrace(d time.Duration, trace string) {
+	if h == nil {
+		return
+	}
+	h.Observe(d)
+	for {
+		cur := h.ex.Load()
+		if cur != nil && d <= cur.Dur {
+			return
+		}
+		if h.ex.CompareAndSwap(cur, &Exemplar{Dur: d, Trace: trace}) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of everything observed
+// so far; see HistogramSnapshot.Quantile for the error bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// HistBucket is one non-empty bucket of a snapshot.
+type HistBucket struct {
+	// Index is the bucket's position in the log-linear layout; recover
+	// its value range with BucketBounds.
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// BucketBounds returns the nanosecond value range [lo, hi) of a bucket
+// index, for consumers that rebuild distributions from snapshots.
+func BucketBounds(idx int) (lo, hi uint64) {
+	if idx < 0 {
+		return 0, 0
+	}
+	if idx >= numHistBuckets {
+		idx = numHistBuckets - 1
+	}
+	return histBucketLower(idx), histBucketUpper(idx)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: sparse
+// non-empty buckets in ascending index order, with Count derived from
+// the buckets themselves so the two can never disagree.
+type HistogramSnapshot struct {
+	Name     string            `json:"name"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Count    uint64            `json:"count"`
+	Sum      time.Duration     `json:"sum_ns"`
+	Min      time.Duration     `json:"min_ns"`
+	Max      time.Duration     `json:"max_ns"`
+	Buckets  []HistBucket      `json:"buckets,omitempty"`
+	Exemplar *Exemplar         `json:"exemplar,omitempty"`
+}
+
+// Snapshot captures the histogram's current state. Safe to call while
+// observations continue; an observation concurrent with Snapshot lands
+// in this snapshot or the next, never in half of one.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Name: h.name, Labels: h.labels}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Index: i, Count: n})
+			s.Count += n
+		}
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	if mn := h.min.Load(); mn != minSentinel {
+		s.Min = time.Duration(mn)
+	}
+	s.Max = time.Duration(h.max.Load())
+	s.Exemplar = h.ex.Load()
+	return s
+}
+
+// Quantile estimates the q-quantile. The estimate is the upper edge of
+// the bucket holding the rank-⌈q·count⌉ observation, clamped to the
+// observed maximum — never below the true value and at most 6.25% above
+// it (one sub-bucket of relative width). q <= 0 returns the minimum;
+// an empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	rank := uint64(q*float64(s.Count) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			up := histBucketUpper(b.Index)
+			d := time.Duration(minSentinel)
+			if up < uint64(minSentinel) {
+				d = time.Duration(up)
+			}
+			if d > s.Max {
+				d = s.Max
+			}
+			return d
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Merge combines two snapshots of the same metric into one, as if every
+// observation had been recorded into a single histogram. It is
+// commutative and associative (TestHistogramMergeAssociative); Name and
+// Labels are taken from the receiver.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Name:   s.Name,
+		Labels: s.Labels,
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	switch {
+	case s.Count == 0:
+		out.Min = o.Min
+	case o.Count == 0:
+		out.Min = s.Min
+	case o.Min < s.Min:
+		out.Min = o.Min
+	default:
+		out.Min = s.Min
+	}
+	if out.Max = s.Max; o.Max > out.Max {
+		out.Max = o.Max
+	}
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Index < o.Buckets[j].Index):
+			out.Buckets = append(out.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Index < s.Buckets[i].Index:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, HistBucket{Index: s.Buckets[i].Index, Count: s.Buckets[i].Count + o.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	out.Exemplar = s.Exemplar
+	if o.Exemplar != nil && (out.Exemplar == nil || o.Exemplar.Dur > out.Exemplar.Dur) {
+		out.Exemplar = o.Exemplar
+	}
+	return out
+}
+
+// Key is the snapshot's registry key: the metric name plus its sorted
+// label pairs, e.g. `serve_e2e_seconds{algo="bfs",outcome="ok"}`.
+func (s HistogramSnapshot) Key() string { return histKey(s.Name, s.Labels) }
+
+func histKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Histogram returns the tracer's registered histogram for name+labels,
+// creating it on first use — the histogram analogue of Tracer.Counter.
+// Returns nil (the no-op histogram) on a nil Tracer. The labels map is
+// copied; the same name+labels always yields the same *Histogram, so
+// the lookup cost is one short mutex hold and the Observe path itself
+// stays lock-free.
+func (t *Tracer) Histogram(name string, labels map[string]string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	key := histKey(name, labels)
+	t.hmu.Lock()
+	defer t.hmu.Unlock()
+	if t.hists == nil {
+		t.hists = make(map[string]*Histogram)
+	}
+	h := t.hists[key]
+	if h == nil {
+		h = NewHistogram(name, labels)
+		t.hists[key] = h
+	}
+	return h
+}
+
+// HistogramSnapshots captures every registered histogram, sorted by key.
+func (t *Tracer) HistogramSnapshots() []HistogramSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.hmu.Lock()
+	hs := make([]*Histogram, 0, len(t.hists))
+	for _, h := range t.hists {
+		hs = append(hs, h)
+	}
+	t.hmu.Unlock()
+	out := make([]HistogramSnapshot, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, h.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Telemetry is one atomic registry snapshot: every counter and every
+// histogram, taken together, stamped with the tracer's clock. It is the
+// unit the /metrics endpoint, the debug page and the trace file all
+// render from.
+type Telemetry struct {
+	T          float64
+	Counters   []CounterValue
+	Histograms []HistogramSnapshot
+}
+
+// Telemetry snapshots counters and histograms in one call.
+func (t *Tracer) Telemetry() Telemetry {
+	if t == nil {
+		return Telemetry{}
+	}
+	return Telemetry{
+		T:          t.now(),
+		Counters:   t.Snapshot(),
+		Histograms: t.HistogramSnapshots(),
+	}
+}
+
+// EmitHistograms emits one "hist" event per registered histogram (the
+// histogram analogue of EmitCounters): sparse buckets plus precomputed
+// quantiles, so trace consumers can either read the percentiles or
+// re-aggregate the raw buckets.
+func (t *Tracer) EmitHistograms() {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	for _, s := range t.HistogramSnapshots() {
+		if s.Count == 0 {
+			continue
+		}
+		hd := HistDataFrom(s)
+		t.emit(Event{T: now, Kind: KindHist, Name: s.Name, Iter: -1, Part: -1, Labels: s.Labels, Hist: &hd})
+	}
+}
+
+// HistData is the JSONL wire form of a histogram snapshot: durations in
+// seconds (matching span Start/Dur), with the sparse buckets retained
+// for exact re-aggregation.
+type HistData struct {
+	Count   uint64       `json:"count"`
+	SumS    float64      `json:"sum_s"`
+	MinS    float64      `json:"min_s"`
+	MaxS    float64      `json:"max_s"`
+	P50     float64      `json:"p50"`
+	P90     float64      `json:"p90"`
+	P99     float64      `json:"p99"`
+	P999    float64      `json:"p999"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+	// ExemplarS and ExemplarTrace identify the slowest observation.
+	ExemplarS     float64 `json:"exemplar_s,omitempty"`
+	ExemplarTrace string  `json:"exemplar_trace,omitempty"`
+}
+
+// HistDataFrom converts a snapshot to its wire form.
+func HistDataFrom(s HistogramSnapshot) HistData {
+	hd := HistData{
+		Count:   s.Count,
+		SumS:    s.Sum.Seconds(),
+		MinS:    s.Min.Seconds(),
+		MaxS:    s.Max.Seconds(),
+		P50:     s.Quantile(0.50).Seconds(),
+		P90:     s.Quantile(0.90).Seconds(),
+		P99:     s.Quantile(0.99).Seconds(),
+		P999:    s.Quantile(0.999).Seconds(),
+		Buckets: s.Buckets,
+	}
+	if s.Exemplar != nil {
+		hd.ExemplarS = s.Exemplar.Dur.Seconds()
+		hd.ExemplarTrace = s.Exemplar.Trace
+	}
+	return hd
+}
+
+// NewTraceID returns a fresh 16-hex-char request trace ID. IDs are
+// random (not sequential) so traces from daemon restarts never collide.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// counter-derived ID rather than panicking in the serve path.
+		return fmt.Sprintf("fallback-%016x", traceIDFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var traceIDFallback atomic.Uint64

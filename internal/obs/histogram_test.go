@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// oracleQuantile is the nearest-rank quantile of a sorted sample — the
+// ground truth the histogram estimate is held against.
+func oracleQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileErrorBound: against a sorted-sample oracle over
+// several latency-shaped distributions, every estimated quantile must
+// be >= the oracle value and within the 6.25% relative error the
+// 16-sub-bucket log-linear layout guarantees.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() time.Duration{
+		"uniform":   func() time.Duration { return time.Duration(rng.Int63n(int64(time.Second))) },
+		"exp":       func() time.Duration { return time.Duration(rng.ExpFloat64() * float64(10*time.Millisecond)) },
+		"lognormal": func() time.Duration { return time.Duration(math.Exp(rng.NormFloat64()*2+13) * 1000) },
+		"bimodal": func() time.Duration {
+			if rng.Intn(10) == 0 {
+				return 100*time.Millisecond + time.Duration(rng.Int63n(int64(50*time.Millisecond)))
+			}
+			return time.Millisecond + time.Duration(rng.Int63n(int64(time.Millisecond)))
+		},
+	}
+	for name, draw := range dists {
+		h := NewHistogram("lat", nil)
+		samples := make([]time.Duration, 20000)
+		for i := range samples {
+			samples[i] = draw()
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		if h.Count() != uint64(len(samples)) {
+			t.Fatalf("%s: count = %d, want %d", name, h.Count(), len(samples))
+		}
+		snap := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+			want := oracleQuantile(samples, q)
+			got := snap.Quantile(q)
+			if got < want {
+				t.Errorf("%s p%g: estimate %v below oracle %v", name, q*100, got, want)
+			}
+			if want > 0 && float64(got)/float64(want) > 1.0626 {
+				t.Errorf("%s p%g: estimate %v exceeds oracle %v by more than 6.25%%", name, q*100, got, want)
+			}
+		}
+		if snap.Quantile(0) != samples[0] {
+			t.Errorf("%s: q=0 returned %v, want observed min %v", name, snap.Quantile(0), samples[0])
+		}
+		if snap.Quantile(1) > samples[len(samples)-1] {
+			t.Errorf("%s: q=1 returned %v above observed max %v", name, snap.Quantile(1), samples[len(samples)-1])
+		}
+	}
+}
+
+func TestHistogramBucketLayout(t *testing.T) {
+	// Every bucket's bounds must be consistent with the index function:
+	// lower maps to the bucket, upper maps past it, ranges tile the axis.
+	prevHi := uint64(0)
+	for idx := 0; idx < numHistBuckets-1; idx++ {
+		lo, hi := BucketBounds(idx)
+		if lo != prevHi && idx > 0 {
+			t.Fatalf("bucket %d: lower %d != previous upper %d", idx, lo, prevHi)
+		}
+		if histBucket(lo) != idx {
+			t.Fatalf("bucket %d: lower bound %d maps to bucket %d", idx, lo, histBucket(lo))
+		}
+		if hi > lo && histBucket(hi-1) != idx {
+			t.Fatalf("bucket %d: last value %d maps to bucket %d", idx, hi-1, histBucket(hi-1))
+		}
+		prevHi = hi
+	}
+	if got := histBucket(^uint64(0)); got != numHistBuckets-1 {
+		t.Fatalf("max value maps to bucket %d, want %d", got, numHistBuckets-1)
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int, scale time.Duration) HistogramSnapshot {
+		h := NewHistogram("lat", map[string]string{"outcome": "ok"})
+		for i := 0; i < n; i++ {
+			h.ObserveTrace(time.Duration(rng.Int63n(int64(scale)))+1, "t")
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(500, time.Millisecond), mk(300, time.Second), mk(200, 10*time.Microsecond)
+
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	same := func(x, y HistogramSnapshot) bool {
+		if x.Count != y.Count || x.Sum != y.Sum || x.Min != y.Min || x.Max != y.Max || len(x.Buckets) != len(y.Buckets) {
+			return false
+		}
+		for i := range x.Buckets {
+			if x.Buckets[i] != y.Buckets[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(left, right) {
+		t.Fatal("(a+b)+c != a+(b+c)")
+	}
+	if !same(a.Merge(b), b.Merge(a)) {
+		t.Fatal("merge is not commutative on counts")
+	}
+	if left.Count != 1000 {
+		t.Fatalf("merged count = %d, want 1000", left.Count)
+	}
+
+	// Merging must agree with recording everything into one histogram.
+	rng = rand.New(rand.NewSource(7))
+	all := NewHistogram("lat", nil)
+	for _, n := range []int{500, 300, 200} {
+		scale := []time.Duration{time.Millisecond, time.Second, 10 * time.Microsecond}[map[int]int{500: 0, 300: 1, 200: 2}[n]]
+		for i := 0; i < n; i++ {
+			all.ObserveTrace(time.Duration(rng.Int63n(int64(scale)))+1, "t")
+		}
+	}
+	if !same(left, all.Snapshot()) {
+		t.Fatal("merged snapshots differ from a single combined histogram")
+	}
+	// An empty snapshot is the identity.
+	if !same(left.Merge(HistogramSnapshot{}), left) || !same(HistogramSnapshot{}.Merge(left), left) {
+		t.Fatal("empty snapshot is not a merge identity")
+	}
+	if left.Exemplar == nil || left.Exemplar.Dur != left.Max {
+		t.Fatalf("merged exemplar %+v does not track the max %v", left.Exemplar, left.Max)
+	}
+}
+
+func TestHistogramConcurrentRecording(t *testing.T) {
+	// Concurrent writers plus a snapshotting reader: total counts must be
+	// exact and every snapshot internally consistent (count == Σ buckets,
+	// guaranteed by construction — asserted here under -race).
+	h := NewHistogram("lat", nil)
+	const G, N = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < N; i++ {
+				h.ObserveTrace(time.Duration(rng.Int63n(int64(time.Second))), "worker")
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := h.Snapshot()
+			var n uint64
+			for _, b := range s.Buckets {
+				n += b.Count
+			}
+			if n != s.Count {
+				panic("snapshot count diverged from bucket sum")
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != G*N {
+		t.Fatalf("count = %d, want %d", h.Count(), G*N)
+	}
+	s := h.Snapshot()
+	if s.Min > s.Max || s.Quantile(0.5) > s.Max {
+		t.Fatalf("inconsistent snapshot: min %v max %v p50 %v", s.Min, s.Max, s.Quantile(0.5))
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	h.ObserveTrace(time.Second, "x")
+	if h.Count() != 0 || h.Name() != "" || h.Labels() != nil || h.Quantile(0.99) != 0 {
+		t.Error("nil histogram leaked state")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Error("nil snapshot not empty")
+	}
+	// All-zero observations must report zero quantiles, not bucket edges.
+	z := NewHistogram("z", nil)
+	z.Observe(0)
+	z.Observe(0)
+	if got := z.Quantile(0.99); got != 0 {
+		t.Errorf("all-zero histogram p99 = %v, want 0", got)
+	}
+}
+
+func TestTracerHistogramRegistry(t *testing.T) {
+	tr := New()
+	a := tr.Histogram("serve_e2e_seconds", map[string]string{"outcome": "ok", "algo": "bfs"})
+	b := tr.Histogram("serve_e2e_seconds", map[string]string{"algo": "bfs", "outcome": "ok"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct histograms")
+	}
+	c := tr.Histogram("serve_e2e_seconds", map[string]string{"algo": "bfs", "outcome": "busy"})
+	if a == c {
+		t.Fatal("distinct labels shared a histogram")
+	}
+	a.Observe(time.Millisecond)
+	c.Observe(time.Second)
+	tr.Counter("serve_admitted").Add(3)
+
+	tel := tr.Telemetry()
+	if len(tel.Histograms) != 2 || len(tel.Counters) != 1 {
+		t.Fatalf("telemetry: %d histograms, %d counters; want 2, 1", len(tel.Histograms), len(tel.Counters))
+	}
+	// Sorted by key: busy before ok.
+	if tel.Histograms[0].Labels["outcome"] != "busy" || tel.Histograms[1].Labels["outcome"] != "ok" {
+		t.Fatalf("telemetry order: %s, %s", tel.Histograms[0].Key(), tel.Histograms[1].Key())
+	}
+
+	var nilTr *Tracer
+	if nilTr.Histogram("x", nil) != nil || nilTr.HistogramSnapshots() != nil {
+		t.Error("nil tracer histogram registry not inert")
+	}
+	if tel := nilTr.Telemetry(); tel.Counters != nil || tel.Histograms != nil {
+		t.Error("nil tracer telemetry not empty")
+	}
+}
+
+func TestEmitHistogramsRoundTrip(t *testing.T) {
+	col := &Collect{}
+	tr := New(col)
+	h := tr.Histogram("serve_e2e_seconds", map[string]string{"outcome": "ok"})
+	for i := 1; i <= 100; i++ {
+		h.ObserveTrace(time.Duration(i)*time.Millisecond, "trace-ff")
+	}
+	tr.Histogram("empty_seconds", nil) // zero observations: not emitted
+	tr.EmitHistograms()
+
+	evs := col.Events()
+	if len(evs) != 1 {
+		t.Fatalf("emitted %d events, want 1 (empty histograms skipped)", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != KindHist || e.Name != "serve_e2e_seconds" || e.Labels["outcome"] != "ok" || e.Hist == nil {
+		t.Fatalf("hist event wrong: %+v", e)
+	}
+	if e.Hist.Count != 100 || e.Hist.ExemplarTrace != "trace-ff" {
+		t.Fatalf("hist payload wrong: %+v", e.Hist)
+	}
+	if e.Hist.P50 < 0.050 || e.Hist.P50 > 0.054 || e.Hist.MaxS != 0.1 {
+		t.Fatalf("hist quantiles wrong: p50=%v max=%v", e.Hist.P50, e.Hist.MaxS)
+	}
+
+	// And the summary folds the record in.
+	s := Summarize(evs)
+	if len(s.Hists) != 1 || s.Hists[0].Data.Count != 100 {
+		t.Fatalf("summary hists = %+v", s.Hists)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace IDs: %q, %q", a, b)
+	}
+}
+
+// BenchmarkHistogramObserve asserts the hot path allocates nothing.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("lat", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	h := NewHistogram("lat", nil)
+	h.ObserveTrace(time.Hour, "warm") // pin the exemplar so updates stop allocating
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Observe(3 * time.Millisecond)
+		h.ObserveTrace(5*time.Millisecond, "t")
+	}); avg != 0 {
+		t.Errorf("Observe allocates %v per op, want 0", avg)
+	}
+}

@@ -50,6 +50,12 @@ type Event struct {
 	Attrs    map[string]int64  `json:"attrs,omitempty"`
 	Labels   map[string]string `json:"labels,omitempty"`
 	Counters map[string]int64  `json:"counters,omitempty"`
+	// Trace correlates the event with one request: the serve layer stamps
+	// every query span with the request's trace ID, so `tracecat -trace`
+	// can pull a single query's records out of a daemon trace.
+	Trace string `json:"trace,omitempty"`
+	// Hist carries a histogram snapshot on "hist" events.
+	Hist *HistData `json:"hist,omitempty"`
 }
 
 // Event kinds.
@@ -57,6 +63,7 @@ const (
 	KindSpan     = "span"
 	KindCounters = "counters"
 	KindNote     = "note"
+	KindHist     = "hist"
 )
 
 // Sink receives every event a Tracer emits. Emit calls are serialized by
@@ -161,6 +168,9 @@ type Tracer struct {
 
 	cmu      sync.Mutex
 	counters map[string]*Counter
+
+	hmu   sync.Mutex
+	hists map[string]*Histogram
 }
 
 // New returns a Tracer emitting to the given sinks (more can be added
@@ -370,6 +380,8 @@ type Span struct {
 	iter   int
 	part   int
 	attrs  map[string]int64
+	labels map[string]string
+	trace  string
 }
 
 // Span starts a new root span. Returns nil on a nil Tracer.
@@ -390,7 +402,29 @@ func (s *Span) Child(name string) *Span {
 	c.parent = s.id
 	c.iter = s.iter
 	c.part = s.part
+	c.trace = s.trace
 	return c
+}
+
+// SetTrace tags the span (and, through Child, its descendants) with a
+// request trace ID.
+func (s *Span) SetTrace(id string) *Span {
+	if s != nil {
+		s.trace = id
+	}
+	return s
+}
+
+// Label attaches a string label (algorithm, engine, outcome).
+func (s *Span) Label(name, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.labels == nil {
+		s.labels = make(map[string]string, 4)
+	}
+	s.labels[name] = v
+	return s
 }
 
 // SetIter tags the span with a BFS iteration index (-1 = setup).
@@ -429,7 +463,8 @@ func (s *Span) End() {
 	end := s.tr.now()
 	s.tr.emit(Event{
 		T: end, Kind: KindSpan, Name: s.name, ID: s.id, Parent: s.parent,
-		Start: s.start, Dur: end - s.start, Iter: s.iter, Part: s.part, Attrs: s.attrs,
+		Start: s.start, Dur: end - s.start, Iter: s.iter, Part: s.part,
+		Attrs: s.attrs, Labels: s.labels, Trace: s.trace,
 	})
 }
 
@@ -478,6 +513,22 @@ const (
 	CtrServeCacheMisses = "serve_cache_misses" // cacheable queries that had to execute
 	CtrServeIORetries   = "serve_io_retries"   // transient I/O retries across completed queries
 	CtrServeIOFailures  = "serve_io_failures"  // I/O failures past retry across completed queries
+	CtrServeSlow        = "serve_slow_queries" // queries past the slow-query threshold
+)
+
+// Histogram names maintained by the query service, all partitioned by
+// {algo, engine, outcome} labels and exposed in Prometheus text format
+// on the daemon's GET /metrics.
+const (
+	// HistServeWait is the admission wait: Submit entry to slot acquired
+	// (or rejected/abandoned — the outcome label says which).
+	HistServeWait = "serve_wait_seconds"
+	// HistServeExec is pure engine execution time, recorded only for
+	// queries that actually ran an engine (cache hits record none).
+	HistServeExec = "serve_exec_seconds"
+	// HistServeE2E is end-to-end Submit latency, recorded for every
+	// query including cache hits and rejections.
+	HistServeE2E = "serve_e2e_seconds"
 )
 
 // EngineCounters bundles the standard live counters an engine maintains.

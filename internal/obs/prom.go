@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteProm renders a Telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4): every counter becomes a gauge
+// sample named prefix_<counter>, every histogram a histogram family
+// with cumulative `le` buckets in seconds, `_sum` and `_count`, its
+// labels rendered on each sample. Families are emitted in sorted order
+// so the page is stable across scrapes.
+//
+// Bucket lines are sparse — only bucket edges that hold observations
+// appear, plus the mandatory `le="+Inf"` — which the format permits:
+// cumulative counts stay monotone over an ascending edge list.
+func WriteProm(w io.Writer, prefix string, tel Telemetry) error {
+	for _, cv := range tel.Counters {
+		name := promName(prefix, cv.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, cv.Value); err != nil {
+			return err
+		}
+	}
+
+	// Group histograms into families: one # TYPE line per metric name,
+	// then every label combination's samples.
+	byName := make(map[string][]HistogramSnapshot)
+	var names []string
+	for _, hs := range tel.Histograms {
+		if _, ok := byName[hs.Name]; !ok {
+			names = append(names, hs.Name)
+		}
+		byName[hs.Name] = append(byName[hs.Name], hs)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := byName[name]
+		sort.Slice(fam, func(i, j int) bool { return fam[i].Key() < fam[j].Key() })
+		metric := promName(prefix, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+			return err
+		}
+		for _, hs := range fam {
+			if err := writePromHist(w, metric, hs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, metric string, hs HistogramSnapshot) error {
+	var cum uint64
+	for _, b := range hs.Buckets {
+		cum += b.Count
+		_, hi := BucketBounds(b.Index)
+		le := strconv.FormatFloat(time.Duration(hi).Seconds(), 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", metric, promLabels(hs.Labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", metric, promLabels(hs.Labels, "+Inf"), hs.Count); err != nil {
+		return err
+	}
+	labels := promLabels(hs.Labels, "")
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+		metric, labels, strconv.FormatFloat(hs.Sum.Seconds(), 'g', -1, 64),
+		metric, labels, hs.Count)
+	return err
+}
+
+// promName joins the prefix and sanitizes the metric name to the
+// Prometheus charset [a-zA-Z0-9_:].
+func promName(prefix, name string) string {
+	full := name
+	if prefix != "" {
+		full = prefix + "_" + name
+	}
+	out := []byte(full)
+	for i, c := range out {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// promLabels renders a label set (plus an optional le bucket edge) as
+// {k="v",...}; empty input renders as no braces at all.
+func promLabels(labels map[string]string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName("", k))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

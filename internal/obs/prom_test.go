@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one sample of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[-+]?[0-9.eE+-]+|\+Inf)$`)
+
+// ValidateProm is shared with the load generator's -check-metrics: every
+// non-empty line must be a # comment or a well-formed sample.
+func validateProm(t *testing.T, page string) (samples int) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(page))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		samples++
+	}
+	return samples
+}
+
+func TestWritePromFormat(t *testing.T) {
+	tr := New()
+	tr.Counter("serve_admitted").Add(7)
+	tr.Counter("weird name-with.chars").Set(-2)
+	h := tr.Histogram("serve_e2e_seconds", map[string]string{"algo": "bfs", "outcome": "ok"})
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	h2 := tr.Histogram("serve_e2e_seconds", map[string]string{"algo": "bfs", "outcome": `bu"sy`})
+	h2.Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := WriteProm(&b, "fastbfs", tr.Telemetry()); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if validateProm(t, page) == 0 {
+		t.Fatal("no samples emitted")
+	}
+	for _, want := range []string{
+		"# TYPE fastbfs_serve_admitted gauge\nfastbfs_serve_admitted 7\n",
+		"fastbfs_weird_name_with_chars -2\n",
+		"# TYPE fastbfs_serve_e2e_seconds histogram\n",
+		`fastbfs_serve_e2e_seconds_count{algo="bfs",outcome="ok"} 1000`,
+		`fastbfs_serve_e2e_seconds_bucket{algo="bfs",outcome="ok",le="+Inf"} 1000`,
+		`outcome="bu\"sy"`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q\n%s", want, page)
+		}
+	}
+
+	// Bucket samples must be cumulative and monotone, ending at count,
+	// with ascending le edges.
+	lines := strings.Split(page, "\n")
+	var prev, last float64
+	prevLe := -1.0
+	le := regexp.MustCompile(`le="([^"]+)"`)
+	for _, line := range lines {
+		if !strings.HasPrefix(line, `fastbfs_serve_e2e_seconds_bucket{algo="bfs",outcome="ok"`) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || v < prev {
+			t.Fatalf("bucket counts not monotone at %q (prev %v)", line, prev)
+		}
+		if m := le.FindStringSubmatch(fields[0]); m[1] != "+Inf" {
+			edge, err := strconv.ParseFloat(m[1], 64)
+			if err != nil || edge <= prevLe {
+				t.Fatalf("le edges not ascending at %q (prev %v)", line, prevLe)
+			}
+			prevLe = edge
+		}
+		prev, last = v, v
+	}
+	if last != 1000 {
+		t.Fatalf("final cumulative bucket = %v, want 1000", last)
+	}
+
+	// The sum must survive the float rendering round-trip.
+	wantSum := h.Snapshot().Sum.Seconds()
+	if !strings.Contains(page, fmt.Sprintf(`fastbfs_serve_e2e_seconds_sum{algo="bfs",outcome="ok"} %s`,
+		strconv.FormatFloat(wantSum, 'g', -1, 64))) {
+		t.Errorf("sum sample missing or mangled\n%s", page)
+	}
+}

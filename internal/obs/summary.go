@@ -26,7 +26,19 @@ type Summary struct {
 	PhaseTotal map[string]float64
 	LeafTotal  float64
 	Counters   map[string]int64 // last counter snapshot in the trace
+	Hists      []HistRecord     // last histogram snapshot per metric, sorted by key
 }
+
+// HistRecord is one histogram from the trace's final telemetry emit
+// (the serve-path latency distributions a daemon writes at drain).
+type HistRecord struct {
+	Name   string
+	Labels map[string]string
+	Data   HistData
+}
+
+// Key returns the record's stable identity (name + sorted labels).
+func (h HistRecord) Key() string { return histKey(h.Name, h.Labels) }
 
 // Summarize digests a trace's events.
 func Summarize(events []Event) *Summary {
@@ -50,6 +62,7 @@ func Summarize(events []Event) *Summary {
 		return ip
 	}
 	seen := make(map[string]bool)
+	hists := make(map[string]HistRecord)
 	for _, e := range events {
 		switch e.Kind {
 		case KindNote:
@@ -58,6 +71,11 @@ func Summarize(events []Event) *Summary {
 			}
 		case KindCounters:
 			s.Counters = e.Counters
+		case KindHist:
+			if e.Hist != nil {
+				rec := HistRecord{Name: e.Name, Labels: e.Labels, Data: *e.Hist}
+				hists[rec.Key()] = rec // later snapshots supersede earlier ones
+			}
 		case KindSpan:
 			if e.Name == "iteration" && len(e.Attrs) > 0 {
 				iterAt(e.Iter).Attrs = e.Attrs
@@ -80,5 +98,9 @@ func Summarize(events []Event) *Summary {
 		s.Iters = append(s.Iters, *ip)
 	}
 	sort.Slice(s.Iters, func(i, j int) bool { return s.Iters[i].Iter < s.Iters[j].Iter })
+	for _, rec := range hists {
+		s.Hists = append(s.Hists, rec)
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Key() < s.Hists[j].Key() })
 	return s
 }

@@ -4,12 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"fastbfs/internal/algo"
 	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
+	"fastbfs/internal/obs"
 )
 
 // httpQuery is the JSON request body of POST /query.
@@ -32,6 +35,7 @@ type httpQuery struct {
 type httpResult struct {
 	Graph     string   `json:"graph"`
 	Algorithm string   `json:"algorithm"`
+	TraceID   string   `json:"trace_id"`
 	Visited   uint64   `json:"visited"`
 	Cached    bool     `json:"cached"`
 	ExecTime  float64  `json:"exec_time,omitempty"`
@@ -47,6 +51,8 @@ type httpError struct {
 	// Reason carries the sentinel class for machine consumption
 	// ("io_failed", "corrupted") when the failure is an I/O one.
 	Reason string `json:"reason,omitempty"`
+	// TraceID identifies the failed request in traces and logs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // statusFor maps service errors to HTTP status codes: the sentinel
@@ -83,27 +89,52 @@ func reasonFor(err error) string {
 // Handler returns the service's HTTP interface:
 //
 //	POST /query   JSON httpQuery -> httpResult
-//	GET  /healthz liveness + Stats snapshot
+//	GET  /healthz liveness, uptime, build info + Stats snapshot
+//	GET  /metrics serve counters + latency histograms, Prometheus text
 //
 // Saturation maps to 429, a blown server-side deadline to 504, a
 // malformed query to 400; the daemon (cmd/fastbfsd) mounts this on its
-// listener.
+// listener. Every /query response — success or error — carries the
+// request's trace ID in the X-Request-Id header and the JSON body; a
+// client-supplied X-Request-Id is adopted after sanitization.
 func (s *GraphService) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
+// requestTraceID adopts the client's X-Request-Id or mints a fresh ID.
+// Client IDs are clamped to 64 chars of [A-Za-z0-9._-]; anything else is
+// dropped so headers cannot smuggle arbitrary bytes into traces/logs.
+func requestTraceID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	clean := make([]byte, 0, len(id))
+	for i := 0; i < len(id) && len(clean) < 64; i++ {
+		c := id[i]
+		if c == '_' || c == '-' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			clean = append(clean, c)
+		}
+	}
+	if len(clean) == 0 {
+		return obs.NewTraceID()
+	}
+	return string(clean)
+}
+
 func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
+	traceID := requestTraceID(r)
+	w.Header().Set("X-Request-Id", traceID)
 	var hq httpQuery
 	if err := json.NewDecoder(r.Body).Decode(&hq); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: " + err.Error(), TraceID: traceID})
 		return
 	}
 	engine, err := ParseEngine(hq.Engine)
 	if err != nil {
-		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		writeJSON(w, statusFor(err), httpError{Error: err.Error(), TraceID: traceID})
 		return
 	}
 	q := Query{
@@ -112,6 +143,7 @@ func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Root:          graph.VertexID(hq.Root),
 		MaxIterations: hq.MaxIterations,
 		NoCache:       hq.NoCache,
+		TraceID:       traceID,
 	}
 	for _, r := range hq.Roots {
 		q.Roots = append(q.Roots, graph.VertexID(r))
@@ -126,12 +158,13 @@ func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// A cancelled query whose cause is the server-side timeout is a
 		// gateway timeout, not a plain cancellation.
-		writeJSON(w, statusFor(err), httpError{Error: err.Error(), Reason: reasonFor(err)})
+		writeJSON(w, statusFor(err), httpError{Error: err.Error(), Reason: reasonFor(err), TraceID: traceID})
 		return
 	}
 	hr := httpResult{
 		Graph:     s.name,
 		Algorithm: string(q.Algorithm),
+		TraceID:   res.TraceID,
 		Visited:   res.Visited,
 		Cached:    res.Cached,
 		ExecTime:  res.Metrics.ExecTime,
@@ -174,10 +207,36 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		state = "degraded"
 	}
 	writeJSON(w, status, struct {
-		Status string `json:"status"`
-		Graph  string `json:"graph"`
-		Stats  Stats  `json:"stats"`
-	}{Status: state, Graph: s.name, Stats: stats})
+		Status    string  `json:"status"`
+		Graph     string  `json:"graph"`
+		Vertices  uint64  `json:"vertices"`
+		Edges     uint64  `json:"edges"`
+		UptimeS   float64 `json:"uptime_s"`
+		GoVersion string  `json:"go_version"`
+		Stats     Stats   `json:"stats"`
+	}{
+		Status:    state,
+		Graph:     s.name,
+		Vertices:  s.meta.Vertices,
+		Edges:     s.meta.Edges,
+		UptimeS:   s.Uptime().Seconds(),
+		GoVersion: runtime.Version(),
+		Stats:     stats,
+	})
+}
+
+// handleMetrics serves the registry — the serve_* counters plus the
+// wait/exec/e2e latency histograms — in Prometheus text format, with
+// uptime and build-info gauges so scrapes are attributable to one
+// daemon incarnation and graph.
+func (s *GraphService) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# TYPE fastbfs_uptime_seconds gauge\nfastbfs_uptime_seconds %g\n", s.Uptime().Seconds())
+	fmt.Fprintf(w, "# TYPE fastbfs_build_info gauge\nfastbfs_build_info{go_version=%q,graph=%q} 1\n",
+		runtime.Version(), s.name)
+	fmt.Fprintf(w, "# TYPE fastbfs_graph_vertices gauge\nfastbfs_graph_vertices %d\n", s.meta.Vertices)
+	fmt.Fprintf(w, "# TYPE fastbfs_graph_edges gauge\nfastbfs_graph_edges %d\n", s.meta.Edges)
+	_ = obs.WriteProm(w, "fastbfs", s.Telemetry())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

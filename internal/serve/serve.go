@@ -26,12 +26,15 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastbfs/internal/algo"
 	"fastbfs/internal/core"
@@ -132,6 +135,11 @@ type Query struct {
 	// NoCache bypasses the result cache for this query, both lookup and
 	// store.
 	NoCache bool
+	// TraceID correlates this query across the JSONL trace, the
+	// slow-query log and histogram exemplars. Empty means the service
+	// generates one; either way the ID comes back in Result.TraceID. It
+	// is not part of the result-cache key.
+	TraceID string
 }
 
 // Result is a query's answer. The slices are shared with the service's
@@ -149,6 +157,9 @@ type Result struct {
 	Metrics metrics.Run
 	// Cached reports that the answer came from the result cache.
 	Cached bool
+	// TraceID is the query's trace ID (the submitted one, or the one the
+	// service generated).
+	TraceID string
 }
 
 // Config tunes a GraphService.
@@ -169,9 +180,19 @@ type Config struct {
 	// overwritten by the service.
 	Base core.Options
 	// Tracer receives the service's serve_* counters (admissions,
-	// rejections, queue depth, cache traffic). When nil the service keeps
-	// a private sink-less tracer so Stats still works.
+	// rejections, queue depth, cache traffic), the per-query latency
+	// histograms and the per-query "serve_query" trace spans. When nil
+	// the service keeps a private sink-less tracer so Stats, Telemetry
+	// and /metrics still work.
 	Tracer *obs.Tracer
+	// SlowQueryThreshold marks queries whose end-to-end latency reaches
+	// it: they bump the serve_slow_queries counter and are appended to
+	// SlowQueryLog. Zero disables slow-query tracking.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one JSON line per slow query (trace ID,
+	// algorithm, engine, outcome, wait/exec/e2e milliseconds). Nil means
+	// slow queries are counted but not logged.
+	SlowQueryLog io.Writer
 }
 
 func (c *Config) setDefaults() {
@@ -208,6 +229,7 @@ type serveCounters struct {
 	ioFailures  *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	slow        *obs.Counter
 }
 
 // GraphService serves concurrent queries over one stored graph.
@@ -217,8 +239,12 @@ type GraphService struct {
 	meta graph.Meta
 	cfg  Config
 
-	tr  *obs.Tracer
-	ctr serveCounters
+	tr    *obs.Tracer
+	ctr   serveCounters
+	start time.Time
+
+	// slowMu serializes writes to the slow-query log.
+	slowMu sync.Mutex
 
 	// sem holds one token per executing query (admission control).
 	sem chan struct{}
@@ -255,6 +281,7 @@ func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error
 		meta:    m,
 		cfg:     cfg,
 		tr:      tr,
+		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		closing: make(chan struct{}),
 		cache:   newLRU(cfg.CacheEntries),
@@ -270,6 +297,7 @@ func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error
 		ioFailures:  s.tr.Counter(obs.CtrServeIOFailures),
 		cacheHits:   s.tr.Counter(obs.CtrServeCacheHits),
 		cacheMisses: s.tr.Counter(obs.CtrServeCacheMisses),
+		slow:        s.tr.Counter(obs.CtrServeSlow),
 	}
 	return s, nil
 }
@@ -277,18 +305,61 @@ func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error
 // Graph returns the served graph's metadata.
 func (s *GraphService) Graph() graph.Meta { return s.meta }
 
+// Uptime reports how long the service has been open.
+func (s *GraphService) Uptime() time.Duration { return time.Since(s.start) }
+
+// Telemetry snapshots the service's counters and latency histograms in
+// one call — what GET /metrics and the debug page render.
+func (s *GraphService) Telemetry() obs.Telemetry { return s.tr.Telemetry() }
+
+// queryTiming is the per-query latency breakdown Submit feeds into the
+// serve histograms and the slow-query log.
+type queryTiming struct {
+	wait   time.Duration // admission: Submit entry to slot acquired (or refused)
+	exec   time.Duration // engine execution
+	e2e    time.Duration // the whole Submit call
+	waited bool          // the query reached admission control
+	ran    bool          // an engine actually executed
+	cached bool          // answered from the result cache
+}
+
 // Submit runs one query, blocking until it completes, fails, is
 // cancelled, or cannot be admitted. Errors are matchable with errors.Is
 // against the errs sentinels: ErrBadOptions (malformed query), ErrBusy
 // (admission control), ErrCancelled (ctx cancelled or past deadline —
 // the ctx cause is in the same chain), ErrClosed (service shut down).
+//
+// Every Submit — success or failure — is recorded in the serve latency
+// histograms (admission wait, execution, end-to-end) partitioned by
+// {algo, engine, outcome}, and emitted as a "serve_query" span stamped
+// with the query's trace ID.
 func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	if q.TraceID == "" {
+		q.TraceID = obs.NewTraceID()
+	}
+	sp := s.tr.Span("serve_query").SetTrace(q.TraceID)
+
+	var tm queryTiming
+	nq, res, err := s.submit(ctx, q, &tm)
+	tm.e2e = time.Since(start)
+	if res != nil {
+		res.TraceID = q.TraceID
+	}
+	s.record(nq, res, err, tm, sp)
+	return res, err
+}
+
+// submit is Submit's body, separated so the caller can time and record
+// the attempt uniformly on every exit path. It returns the normalized
+// query for histogram labelling even when it fails.
+func (s *GraphService) submit(ctx context.Context, q Query, tm *queryTiming) (Query, *Result, error) {
 	nq, key, err := s.normalize(q)
 	if err != nil {
-		return nil, err
+		return nq, nil, err
 	}
 
 	// Register with the drain group before anything else so Shutdown
@@ -296,7 +367,7 @@ func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
+		return nq, nil, fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
 	}
 	s.wg.Add(1)
 	s.mu.Unlock()
@@ -306,15 +377,20 @@ func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
 	if useCache {
 		if res, ok := s.cache.get(key); ok {
 			s.ctr.cacheHits.Add(1)
+			tm.cached = true
 			hit := *res
 			hit.Cached = true
-			return &hit, nil
+			return nq, &hit, nil
 		}
 		s.ctr.cacheMisses.Add(1)
 	}
 
-	if err := s.admit(ctx); err != nil {
-		return nil, err
+	tm.waited = true
+	waitStart := time.Now()
+	err = s.admit(ctx)
+	tm.wait = time.Since(waitStart)
+	if err != nil {
+		return nq, nil, err
 	}
 	s.ctr.admitted.Add(1)
 	s.ctr.inflight.Add(1)
@@ -323,7 +399,10 @@ func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
 		<-s.sem
 	}()
 
+	tm.ran = true
+	execStart := time.Now()
 	res, err := s.execute(ctx, nq)
+	tm.exec = time.Since(execStart)
 	if err != nil {
 		if errors.Is(err, errs.ErrCancelled) || ctx.Err() != nil {
 			s.ctr.cancelled.Add(1)
@@ -331,7 +410,7 @@ func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
 		if errors.Is(err, errs.ErrIOFailed) || errors.Is(err, errs.ErrCorrupted) {
 			s.ctr.ioFailures.Add(1)
 		}
-		return nil, err
+		return nq, nil, err
 	}
 	s.ctr.completed.Add(1)
 	s.ctr.ioRetries.Add(res.Metrics.IORetries)
@@ -339,7 +418,139 @@ func (s *GraphService) Submit(ctx context.Context, q Query) (*Result, error) {
 	if useCache {
 		s.cache.put(key, res)
 	}
-	return res, nil
+	return nq, res, nil
+}
+
+// Outcome labels for the serve histograms (DESIGN.md §11).
+const (
+	OutcomeOK         = "ok"
+	OutcomeBusy       = "busy"
+	OutcomeTimeout    = "timeout"
+	OutcomeCancelled  = "cancelled"
+	OutcomeIOFailed   = "io_failed"
+	OutcomeClosed     = "closed"
+	OutcomeBadRequest = "bad_request"
+	OutcomeError      = "error"
+)
+
+// outcomeFor maps a Submit error to its histogram outcome label. A
+// deadline-born cancellation counts as timeout, not cancelled; detected
+// corruption shares io_failed with retry exhaustion (both mean "the
+// storage layer lost the query").
+func outcomeFor(err error) string {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, errs.ErrBusy):
+		return OutcomeBusy
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeTimeout
+	case errors.Is(err, errs.ErrCancelled):
+		return OutcomeCancelled
+	case errors.Is(err, errs.ErrIOFailed), errors.Is(err, errs.ErrCorrupted):
+		return OutcomeIOFailed
+	case errors.Is(err, errs.ErrClosed):
+		return OutcomeClosed
+	case errors.Is(err, errs.ErrBadOptions):
+		return OutcomeBadRequest
+	}
+	return OutcomeError
+}
+
+// histLabels builds the bounded {algo, engine, outcome} label set: raw
+// client input never becomes a label value, so hostile queries cannot
+// explode the metric cardinality.
+func histLabels(q Query, outcome string) map[string]string {
+	algoL := "invalid"
+	switch q.Algorithm {
+	case AlgoBFS, AlgoMSBFS, AlgoSSSP:
+		algoL = string(q.Algorithm)
+	}
+	engineL := "invalid"
+	switch q.Engine {
+	case EngineFastBFS, EngineXStream, EngineGraphChi:
+		engineL = q.Engine.String()
+	}
+	return map[string]string{"algo": algoL, "engine": engineL, "outcome": outcome}
+}
+
+// record feeds one finished Submit into the latency histograms, closes
+// its trace span and applies the slow-query policy.
+func (s *GraphService) record(q Query, res *Result, err error, tm queryTiming, sp *obs.Span) {
+	outcome := outcomeFor(err)
+	labels := histLabels(q, outcome)
+	s.tr.Histogram(obs.HistServeE2E, labels).ObserveTrace(tm.e2e, q.TraceID)
+	if tm.waited {
+		s.tr.Histogram(obs.HistServeWait, labels).ObserveTrace(tm.wait, q.TraceID)
+	}
+	if tm.ran {
+		s.tr.Histogram(obs.HistServeExec, labels).ObserveTrace(tm.exec, q.TraceID)
+	}
+
+	sp.Label("algo", labels["algo"]).Label("engine", labels["engine"]).Label("outcome", outcome)
+	sp.Attr("wait_us", tm.wait.Microseconds()).Attr("exec_us", tm.exec.Microseconds())
+	if tm.cached {
+		sp.Attr("cached", 1)
+	}
+	if res != nil {
+		sp.Attr("visited", int64(res.Visited))
+	}
+	sp.End()
+
+	if s.cfg.SlowQueryThreshold > 0 && tm.e2e >= s.cfg.SlowQueryThreshold {
+		s.ctr.slow.Add(1)
+		s.logSlow(q, res, err, tm, labels)
+	}
+}
+
+// slowQuery is one line of the structured slow-query log.
+type slowQuery struct {
+	Time    string  `json:"t"`
+	Trace   string  `json:"trace"`
+	Algo    string  `json:"algo"`
+	Engine  string  `json:"engine"`
+	Outcome string  `json:"outcome"`
+	Root    uint32  `json:"root"`
+	Roots   int     `json:"roots,omitempty"`
+	WaitMs  float64 `json:"wait_ms"`
+	ExecMs  float64 `json:"exec_ms"`
+	E2EMs   float64 `json:"e2e_ms"`
+	Cached  bool    `json:"cached,omitempty"`
+	Visited uint64  `json:"visited,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+func (s *GraphService) logSlow(q Query, res *Result, err error, tm queryTiming, labels map[string]string) {
+	if s.cfg.SlowQueryLog == nil {
+		return
+	}
+	rec := slowQuery{
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		Trace:   q.TraceID,
+		Algo:    labels["algo"],
+		Engine:  labels["engine"],
+		Outcome: labels["outcome"],
+		Root:    uint32(q.Root),
+		Roots:   len(q.Roots),
+		WaitMs:  float64(tm.wait) / float64(time.Millisecond),
+		ExecMs:  float64(tm.exec) / float64(time.Millisecond),
+		E2EMs:   float64(tm.e2e) / float64(time.Millisecond),
+		Cached:  tm.cached,
+	}
+	if res != nil {
+		rec.Visited = res.Visited
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	line, merr := json.Marshal(rec)
+	if merr != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.slowMu.Lock()
+	_, _ = s.cfg.SlowQueryLog.Write(line)
+	s.slowMu.Unlock()
 }
 
 // admit acquires an execution slot, waiting in the bounded queue when
@@ -569,6 +780,8 @@ type Stats struct {
 	// degraded in /healthz.
 	IORetries  int64 `json:"io_retries"`
 	IOFailures int64 `json:"io_failures"`
+	// SlowQueries counts queries at or past Config.SlowQueryThreshold.
+	SlowQueries int64 `json:"slow_queries"`
 }
 
 // Stats reads the current counter values.
@@ -585,5 +798,6 @@ func (s *GraphService) Stats() Stats {
 		CacheSize:   int64(s.cache.len()),
 		IORetries:   s.ctr.ioRetries.Value(),
 		IOFailures:  s.ctr.ioFailures.Value(),
+		SlowQueries: s.ctr.slow.Value(),
 	}
 }
