@@ -8,7 +8,7 @@
 //	fastbfs -dir DATA -graph rmat20 -root 1 [-engine fastbfs|xstream|graphchi]
 //	        [-mem 1073741824] [-threads 4] [-workers N] [-sim] [-simscale 2048]
 //	        [-twodisks] [-ssd] [-trimstart 0] [-notrim] [-noselsched]
-//	        [-residency-budget 64M]
+//	        [-direction auto|topdown|bottomup] [-residency-budget 64M]
 //	        [-checkpoint CKDIR] [-resume]
 //	        [-report] [-validate] [-quiet]
 //	        [-tracefile trace.jsonl] [-debugaddr localhost:6060]
@@ -71,6 +71,7 @@ func main() {
 	ssd := flag.Bool("ssd", false, "simulate the SSD instead of the HDD")
 	twoDisks := flag.Bool("twodisks", false, "simulate a second disk for update/stay streams")
 	trimStart := flag.Int("trimstart", 0, "fastbfs: delay trimming until this iteration")
+	direction := flag.String("direction", "", "search direction: topdown, bottomup, or auto (Beamer-style hybrid; empty = FASTBFS_DIRECTION env, else topdown)")
 	residency := flag.String("residency-budget", "", "fastbfs: resident-partition cache budget (bytes with K/M/G suffix, 0/off, or unbounded; empty = FASTBFS_RESIDENCY env)")
 	noTrim := flag.Bool("notrim", false, "fastbfs: disable trimming")
 	noSelSched := flag.Bool("noselsched", false, "fastbfs: disable selective scheduling")
@@ -114,6 +115,15 @@ func main() {
 		Threads:        *threads,
 		ScatterWorkers: *workers,
 		Tracer:         ob.tracer,
+	}
+	// An empty -direction leaves the option unset so the engine's
+	// defaulting (FASTBFS_DIRECTION, else topdown) applies.
+	if *direction != "" {
+		d, err := xstream.ParseDirection(*direction)
+		if err != nil {
+			fail(err)
+		}
+		opts.Direction = d
 	}
 	if *sim {
 		cfg := &xstream.SimConfig{CPU: disksim.DefaultCPU(), Costs: disksim.DefaultCosts()}

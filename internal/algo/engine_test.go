@@ -123,7 +123,7 @@ func TestEngineCleansUp(t *testing.T) {
 	if _, err := Run(vol, m.Name, NewBFS(0), opts()); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(vol.List()); n != 2 {
+	if n := len(vol.List()); n != 3 {
 		t.Fatalf("leftover files: %v", vol.List())
 	}
 }

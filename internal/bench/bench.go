@@ -140,6 +140,7 @@ func Registry() []Experiment {
 		{ID: "phases", Title: "Per-iteration phase breakdown (traced FastBFS run)", Run: PhaseBreakdown},
 		{ID: "workers", Title: "Scatter worker-pool sweep (wall clock, Mem volume)", Run: Workers},
 		{ID: "residency", Title: "Resident-partition cache budget sweep", Run: Residency},
+		{ID: "direction", Title: "Traversal direction sweep (topdown vs auto hybrid)", Run: DirectionSweep},
 	}
 }
 

@@ -347,6 +347,35 @@ func TestResidencyShape(t *testing.T) {
 	}
 }
 
+func TestDirectionShape(t *testing.T) {
+	tbl, err := DirectionSweep(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want {xstream,fastbfs} x {topdown,auto}", len(tbl.Rows))
+	}
+	// Same BFS result in every cell; the experiment itself enforces the
+	// auto-beats-topdown byte bound (and the >= 30% acceptance at the
+	// rmat12+ scales). Here check the per-engine shape: top-down rows
+	// never switch, auto rows do and are no slower.
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		td, au := tbl.Rows[i], tbl.Rows[i+1]
+		if au[9] != td[9] {
+			t.Errorf("%s: auto visited %s, topdown %s", td[0], au[9], td[9])
+		}
+		if td[7] != "-1" || td[8] != "0" {
+			t.Errorf("%s topdown reported a direction switch: switch@%s bu=%s", td[0], td[7], td[8])
+		}
+		if au[7] == "-1" || au[8] == "0" {
+			t.Errorf("%s auto never went bottom-up: switch@%s bu=%s", au[0], au[7], au[8])
+		}
+		if cell(t, au[2]) > cell(t, td[2]) {
+			t.Errorf("%s auto slower than topdown: %s vs %s seconds", td[0], au[2], td[2])
+		}
+	}
+}
+
 func TestAblationsRun(t *testing.T) {
 	cfg := tinyCfg()
 	for _, id := range []string{"abl-trimstart", "abl-staybuf", "abl-grace", "abl-features"} {

@@ -195,6 +195,129 @@ func TestEnginesAgreeAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestEnginesAgreeAcrossDirections is the direction-equivalence
+// property: over 50 random graphs spanning the same families as the
+// worker sweep, FastBFS and X-Stream produce BFS output byte-identical
+// to their own top-down baseline — same levels AND same parents — under
+// every direction mode {topdown, bottomup, auto}, worker count {1, 8}
+// and (FastBFS only) residency setting {off, unbounded}. The bottom-up
+// winner rule is defined to reproduce top-down's deterministic parent
+// choice exactly, so any divergence is a bug, not a tie-break artifact.
+// GraphChi has no bottom-up mode and closes the cross-engine loop with
+// its top-down run against the reference.
+func TestEnginesAgreeAcrossDirections(t *testing.T) {
+	directions := []xstream.Direction{xstream.DirectionTopDown, xstream.DirectionBottomUp, xstream.DirectionAuto}
+	workerCounts := []int{1, 8}
+	residencies := []int64{ResidencyOff, ResidencyUnbounded}
+	rng := rand.New(rand.NewSource(7))
+	const numGraphs = 50
+	for g := 0; g < numGraphs; g++ {
+		var (
+			m     graph.Meta
+			edges []graph.Edge
+			err   error
+		)
+		switch g % 3 {
+		case 0:
+			m, edges, err = gen.Uniform(30+uint64(rng.Intn(80)), 60+uint64(rng.Intn(200)), rng.Int63())
+		case 1:
+			m, edges, err = gen.RMAT(5+rng.Intn(3), 4+rng.Intn(6), gen.Graph500(), rng.Int63())
+		default:
+			m, edges, err = gen.Uniform(20+uint64(rng.Intn(40)), 40+uint64(rng.Intn(100)), rng.Int63())
+			if err == nil {
+				m, edges = gen.AddTendrils(m, edges, 1+rng.Intn(3), 2+rng.Intn(5), m.Undirected, rng.Int63())
+			}
+		}
+		if err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			v := graph.VertexID(rng.Intn(int(m.Vertices)))
+			edges = append(edges, graph.Edge{Src: v, Dst: v})
+		}
+		m.Vertices += uint64(1 + rng.Intn(5))
+		m.Edges = uint64(len(edges))
+		m.Name = fmt.Sprintf("dsweep%02d", g)
+
+		vol := storage.NewMem()
+		if err := graph.Store(vol, m, edges); err != nil {
+			t.Fatalf("graph %d: %v", g, err)
+		}
+		root := graph.VertexID(rng.Intn(int(m.Vertices)))
+		ref, err := bfs.Run(m, edges, root)
+		if err != nil {
+			t.Fatalf("graph %d: reference: %v", g, err)
+		}
+		budget := uint64(512 + rng.Intn(3584))
+		if g%5 == 4 {
+			budget = 1 << 20
+		}
+		partitions := 1 + rng.Intn(7)
+		bufSize := 128 + rng.Intn(384)
+
+		check := func(label string, res *xstream.Result, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("graph %d %s: %v", g, label, err)
+			}
+			got := &bfs.Result{Root: root, Level: res.Levels, Parent: res.Parents, Visited: res.Visited}
+			if e := bfs.Equal(ref, got); e != nil {
+				t.Fatalf("graph %d %s: %v", g, label, e)
+			}
+			if e := bfs.Validate(m, edges, got); e != nil {
+				t.Fatalf("graph %d %s: invalid tree: %v", g, label, e)
+			}
+		}
+		// identical asserts byte-identity against the engine's own
+		// top-down baseline — levels and parents, not just levels.
+		identical := func(label string, got, want *xstream.Result) {
+			t.Helper()
+			for i := range got.Levels {
+				if got.Levels[i] != want.Levels[i] || got.Parents[i] != want.Parents[i] {
+					t.Fatalf("graph %d %s: diverged from top-down baseline at vertex %d: level %d/%d parent %d/%d",
+						g, label, i, got.Levels[i], want.Levels[i], got.Parents[i], want.Parents[i])
+				}
+			}
+		}
+
+		var fbBase, xsBase *xstream.Result
+		for _, d := range directions {
+			for _, w := range workerCounts {
+				base := xstream.Options{
+					Root: root, MemoryBudget: budget, Partitions: partitions,
+					StreamBufSize: bufSize, ScatterWorkers: w, Direction: d,
+				}
+				for _, rb := range residencies {
+					label := fmt.Sprintf("fastbfs(dir=%s,workers=%d,residency=%d)", d, w, rb)
+					o := Options{Base: base, ResidencyBudget: rb}
+					o.Base.Sim = xstream.DefaultSim()
+					fb, err := Run(vol, m.Name, o)
+					check(label, fb, err)
+					if fbBase == nil {
+						fbBase = fb
+					} else {
+						identical(label, fb, fbBase)
+					}
+				}
+				label := fmt.Sprintf("xstream(dir=%s,workers=%d)", d, w)
+				base.Sim = xstream.DefaultSim()
+				xs, err := xstream.Run(vol, m.Name, base)
+				check(label, xs, err)
+				if xsBase == nil {
+					xsBase = xs
+				} else {
+					identical(label, xs, xsBase)
+				}
+			}
+		}
+		gc, err := graphchi.Run(vol, m.Name, xstream.Options{
+			Root: root, MemoryBudget: budget, Partitions: partitions,
+			StreamBufSize: bufSize, Sim: xstream.DefaultSim(),
+		})
+		check("graphchi", gc, err)
+	}
+}
+
 // TestEnginesAgreeOnScaleFreeGraphs repeats the agreement check on the
 // skewed graphs the paper evaluates, including the symmetrized one.
 func TestEnginesAgreeOnScaleFreeGraphs(t *testing.T) {

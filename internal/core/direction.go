@@ -1,0 +1,619 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fastbfs/internal/errs"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/metrics"
+	"fastbfs/internal/obs"
+	"fastbfs/internal/stream"
+	"fastbfs/internal/xstream"
+)
+
+// This file ports the direction-optimizing (Beamer-style hybrid) BFS
+// into the FastBFS engine. The policy machinery — Direction, DirState,
+// the frontier bitmaps, the lazy reverse-edge split — is shared with
+// the X-Stream engine (internal/xstream/direction.go); what is specific
+// to FastBFS is how bottom-up passes compose with the trimming idea:
+//
+//   - Each partition's reverse-edge input is trimmed the same way the
+//     forward input is: while a bottom-up pass scans partition p's
+//     in-edges, every edge whose target vertex was already visited at
+//     scan start is dropped, and the survivors are rewritten to a
+//     checksummed *reverse stay file* that replaces the input for the
+//     next bottom-up pass. A visited vertex has its parent forever, so
+//     its in-edges are dead — this is the trim rule transposed to the
+//     in-edge direction, and it makes consecutive bottom-up passes read
+//     a fast-shrinking stream.
+//   - Reverse stay files are written write-behind (SetAsync with an
+//     AwaitFile barrier) but without the forward path's grace-and-
+//     cancel: a reverse stay is consumed by the immediately following
+//     pass, so there is no cross-iteration latency to hide. A reverse
+//     input whose checksummed frames fail verification fails the run
+//     with errs.ErrCorrupted — unlike a forward stay there is no wider
+//     fallback input once the chain has advanced and the predecessor
+//     was removed. A stay file that cannot be created or closed
+//     degrades the partition to rescanning its current reverse input
+//     untrimmed.
+//   - A partition with no unvisited vertices left is skipped wholesale
+//     (no vertex load, no reverse scan) — the unvisited counts come
+//     from running per-partition visited tallies, so evaluating the
+//     skip rule costs no I/O — and the per-partition newly-visited
+//     counts seed the update/frontier state selective scheduling
+//     consults when β hands the run back to top-down.
+//
+// Checkpointed runs pin the direction to top-down: bottom-up state
+// (bitmaps, reverse stay chains) is not manifest-covered, and the
+// resume guarantees only hold for the scatter/gather loop. Residency
+// stays forward-only — a promoted partition's RAM-resident edges are
+// forward edges, so bottom-up passes read its reverse input from the
+// device like any other partition's.
+
+// dirRun is the engine's bottom-up working state, allocated at the
+// first top-down→bottom-up transition.
+type dirRun struct {
+	// frontier holds the current level's vertices; next collects the
+	// level being formed.
+	frontier, next *xstream.Bitset
+	// carryFrontier is the size of the frontier formed by the last
+	// bottom-up pass, reported by the following iteration.
+	carryFrontier uint64
+	// revInput is each partition's current reverse-edge input — the
+	// lazy split's file first, then the chain of reverse stay files.
+	revInput  []string
+	revTiming []stream.Timing
+	// revBroken marks partitions whose reverse stay writes failed
+	// permanently; they rescan their current input untrimmed.
+	revBroken []bool
+	// revEdges is the edge count of each partition's current reverse
+	// input, once known (-1 before the first trimmed rewrite): a
+	// partition whose reverse input ran dry can never produce a
+	// candidate again and is skipped without touching the device.
+	revEdges []int64
+	// split records that the fused first pass has consumed the
+	// dataset's reverse-edge file and produced the per-partition
+	// inputs.
+	split bool
+}
+
+// revStayFile is partition p's reverse stay file written by the
+// bottom-up pass of iteration iter.
+func (e *engine) revStayFile(iter, p int) string {
+	return fmt.Sprintf("%s_rstay%d_%d", e.rt.Opts.FilePrefix, iter, p)
+}
+
+// resolveDirectionPolicy applies the FastBFS-specific gating before the
+// shared reverse-file resolution: checkpointed runs pin auto to
+// top-down silently (bottom-up state is not manifest-covered) and
+// reject an explicit bottomup.
+func resolveDirectionPolicy(opts *Options) error {
+	if opts.CheckpointVol == nil {
+		return nil
+	}
+	switch opts.Base.Direction {
+	case xstream.DirectionBottomUp:
+		return fmt.Errorf("fastbfs: %w: direction bottomup cannot be checkpointed (bottom-up state is not manifest-covered); use topdown or drop the checkpoint volume", errs.ErrBadOptions)
+	case xstream.DirectionAuto:
+		opts.Base.Direction = xstream.DirectionTopDown
+	}
+	return nil
+}
+
+// unvisitedIn is partition p's count of still-unvisited vertices,
+// derived from the running visited tally so no vertex file has to be
+// loaded to evaluate the bottom-up skip rule.
+func (e *engine) unvisitedIn(p int) int64 {
+	lo, hi := e.rt.Parts.Interval(p)
+	return int64(hi-lo) - int64(e.parts[p].visitedCount)
+}
+
+// bottomUpIteration runs one whole bottom-up iteration. On a
+// transition (the previous iteration was top-down) it first gathers the
+// pending update set normally — forming this level the top-down way
+// while building its frontier bitmap — then splits the reverse-edge
+// file if this is the run's first switch. Every bottom-up iteration
+// ends with a reverse-input pass over each partition. It returns the
+// number of vertices that pass discovered; zero means the traversal is
+// complete.
+func (e *engine) bottomUpIteration(iter, in int, wasBottom bool, run *metrics.Run, runSpan *obs.Span) (uint64, error) {
+	itSpan := runSpan.Child("iteration").SetIter(iter)
+	e.ctr.Iteration.Set(int64(iter))
+	d := e.dir
+	if d == nil {
+		d = &dirRun{
+			frontier:  xstream.NewBitset(e.rt.Meta.Vertices),
+			next:      xstream.NewBitset(e.rt.Meta.Vertices),
+			revInput:  make([]string, e.rt.Parts.P()),
+			revTiming: make([]stream.Timing, e.rt.Parts.P()),
+			revBroken: make([]bool, e.rt.Parts.P()),
+			revEdges:  make([]int64, e.rt.Parts.P()),
+		}
+		for p := range d.revInput {
+			d.revInput[p] = e.rt.RevEdgeFile(p)
+			d.revTiming[p] = e.mainTiming()
+			d.revEdges[p] = -1
+		}
+		e.dir = d
+		e.ctr.SwitchIteration.Set(int64(e.ds.SwitchIteration))
+	}
+	itRow := metrics.Iteration{Index: iter, BottomUp: true, TrimActive: e.trimActive(iter)}
+
+	if !wasBottom {
+		// Transition pass: consume the update files the last top-down
+		// scatter shuffled, exactly like a normal gather, recording the
+		// formed frontier in the bitmap as it lands.
+		d.frontier.Clear()
+		var aNewly uint64
+		var aDeg float64
+		for p := 0; p < e.rt.Parts.P(); p++ {
+			if err := e.rt.Checkpoint(); err != nil {
+				return 0, err
+			}
+			st := &e.parts[p]
+			if st.updates == 0 && !e.opts.DisableSelectiveScheduling {
+				st.frontier = 0
+				continue
+			}
+			lds := itSpan.Child("load").SetPart(p)
+			v, err := e.loadVerts(p)
+			lds.End()
+			if err != nil {
+				return 0, err
+			}
+			gs := itSpan.Child("gather").SetPart(p)
+			newly, applied, err := e.gather(v, e.rt.UpdateFile(in, p), uint32(iter), func(vid graph.VertexID) {
+				d.frontier.Set(vid)
+				aDeg += float64(e.rt.OutDeg[vid])
+			})
+			gs.Attr("applied", applied).End()
+			if err != nil {
+				return 0, err
+			}
+			e.ctr.UpdatesApplied.Add(applied)
+			e.ctr.Visited.Add(int64(newly))
+			st.frontier = newly
+			st.visitedCount += newly
+			e.visited += newly
+			itRow.NewlyVisited += newly
+			itRow.Updates += applied
+			aNewly += newly
+			if newly > 0 {
+				svs := itSpan.Child("load").SetPart(p)
+				err := e.saveVerts(p, iter, v)
+				svs.End()
+				if err != nil {
+					return 0, err
+				}
+			}
+		}
+		e.ds.RecordFrontier(aNewly, aDeg, true)
+		itRow.Frontier = aNewly
+	} else {
+		itRow.Frontier = d.carryFrontier
+	}
+
+	d.next.Clear()
+	var newly uint64
+	var degSum float64
+	if !d.split {
+		// The run's first bottom-up pass is fused with the reverse-edge
+		// split: one sequential scan of the dataset's .rev file computes
+		// this pass's winners AND writes the per-partition reverse
+		// inputs the next pass reads — lazy (a run that stays top-down
+		// pays nothing), late (the visited filter covers everything the
+		// transition gather just formed), and with no intermediate
+		// full-size partition files to write and immediately re-read.
+		n, dg, err := e.fusedFirstBottomUp(iter, d, &itRow, itSpan)
+		if err != nil {
+			return 0, err
+		}
+		newly, degSum = n, dg
+	} else {
+		for p := 0; p < e.rt.Parts.P(); p++ {
+			if err := e.rt.Checkpoint(); err != nil {
+				return 0, err
+			}
+			if e.unvisitedIn(p) == 0 || d.revEdges[p] == 0 {
+				e.parts[p].updates = 0
+				e.parts[p].frontier = 0
+				itRow.SkippedPartitions++
+				e.skipped++
+				e.ctr.Skipped.Add(1)
+				continue
+			}
+			n, dg, err := e.bottomUpPartition(p, iter, d, &itRow, itSpan)
+			if err != nil {
+				return 0, err
+			}
+			newly += n
+			degSum += dg
+		}
+	}
+	e.visited += newly
+	e.ds.RecordFrontier(newly, degSum, true)
+	e.ctr.BottomUpIters.Add(1)
+	itRow.NewlyVisited += newly
+	d.carryFrontier = newly
+	d.frontier, d.next = d.next, d.frontier
+
+	run.Iterations = append(run.Iterations, itRow)
+	e.ctr.Frontier.Set(int64(itRow.Frontier))
+	e.ctr.BytesRead.Set(e.rt.BytesRead)
+	e.ctr.BytesWritten.Set(e.rt.BytesWritten)
+	itSpan.Attr("frontier", int64(itRow.Frontier)).
+		Attr("new", int64(itRow.NewlyVisited)).
+		Attr("edges", itRow.EdgesStreamed).
+		Attr("bottomup", 1).End()
+	e.tr.EmitCounters()
+
+	// The transition consumed its update set; consecutive bottom-up
+	// iterations have none.
+	if !wasBottom && iter > 0 {
+		for p := 0; p < e.rt.Parts.P(); p++ {
+			e.removeLater(e.rt.UpdateFile(in, p))
+		}
+	}
+	return newly, nil
+}
+
+// fusedFirstBottomUp is the run's first bottom-up pass, fused with the
+// reverse-edge split. One sequential scan of the dataset's .rev file
+// (original edge order) both resolves this pass's winners and writes
+// each partition's reverse input for the next pass. Sequential original
+// order makes the winner rule direct: keep the first candidate whose
+// source partition strictly improves — exactly the (source partition,
+// original position) minimum top-down's gather would pick. An in-edge
+// is written through to its target's partition file only while its
+// target is unvisited AND still winnerless, so the per-partition inputs
+// start winner-filtered instead of being full-size files the next pass
+// immediately re-trims. Corruption in the .rev stream (frame checksum,
+// malformed edge, edge-count mismatch) surfaces as errs.ErrCorrupted.
+func (e *engine) fusedFirstBottomUp(iter int, d *dirRun, itRow *metrics.Iteration, itSpan *obs.Span) (newly uint64, degSum float64, err error) {
+	revName := graph.ReverseFileName(e.rt.Meta.Name)
+	bs := itSpan.Child("reverse-split")
+	sc, err := stream.NewEdgeScanner(e.rt.Vol, revName, e.mainTiming(), e.rt.Opts.StreamBufSize)
+	if err != nil {
+		bs.End()
+		return 0, 0, err
+	}
+	defer sc.Close()
+	stayTiming := e.otherTiming(e.mainTiming())
+	outs := make([]*stream.Writer[graph.Edge], e.rt.Parts.P())
+	for p := range outs {
+		w, werr := stream.NewFramedEdgeWriter(e.rt.Vol, e.revStayFile(iter, p), stayTiming, e.rt.Opts.StreamBufSize)
+		if werr != nil {
+			for _, o := range outs[:p] {
+				o.Abort()
+			}
+			bs.End()
+			return 0, 0, werr
+		}
+		w.SetAsync()
+		outs[p] = w
+	}
+	abort := func() {
+		for _, o := range outs {
+			o.Abort()
+		}
+		bs.End()
+	}
+
+	// Global winner scratch (transient, like OutDeg outside the
+	// modelled budget): winners land across every partition because the
+	// .rev scan is in dataset order, not partition order.
+	bestPart := make([]int32, e.rt.Meta.Vertices)
+	for i := range bestPart {
+		bestPart[i] = -1
+	}
+	bestParent := make([]graph.VertexID, e.rt.Meta.Vertices)
+	trim := e.trimActive(iter)
+	var total uint64
+	var candidates, stayed int64
+	perPart := make([]int64, e.rt.Parts.P())
+	for {
+		r, ok, serr := sc.Next()
+		if serr != nil {
+			abort()
+			return 0, 0, serr
+		}
+		if !ok {
+			break
+		}
+		if cerr := e.rt.Meta.CheckEdge(r); cerr != nil {
+			abort()
+			return 0, 0, fmt.Errorf("%w: reverse-edge file %s: %w", errs.ErrCorrupted, revName, cerr)
+		}
+		total++
+		if e.rt.VisitedBits.Get(r.Src) {
+			continue // target already has a parent — dead in-edge
+		}
+		if d.frontier.Get(r.Dst) {
+			candidates++
+			pu := int32(e.rt.Parts.Of(r.Dst))
+			if bestPart[r.Src] < 0 || pu < bestPart[r.Src] {
+				bestPart[r.Src] = pu
+				bestParent[r.Src] = r.Dst
+			}
+		}
+		if trim && bestPart[r.Src] >= 0 {
+			continue // target will be visited when this pass ends
+		}
+		p := e.rt.Parts.Of(r.Src)
+		if werr := outs[p].Append(r); werr != nil {
+			abort()
+			return 0, 0, werr
+		}
+		stayed++
+		perPart[p]++
+	}
+	if total != e.rt.Meta.Edges {
+		abort()
+		return 0, 0, fmt.Errorf("%w: reverse-edge file %s has %d edges, config says %d",
+			errs.ErrCorrupted, revName, total, e.rt.Meta.Edges)
+	}
+	for p, o := range outs {
+		if cerr := o.Close(); cerr != nil {
+			bs.End()
+			return 0, 0, cerr
+		}
+		e.rt.BytesWritten += o.BytesWritten()
+		e.rt.RegisterReady(e.revStayFile(iter, p), o.LastOp())
+		d.revInput[p] = e.revStayFile(iter, p)
+		d.revTiming[p] = stayTiming
+		d.revEdges[p] = perPart[p]
+	}
+	e.rt.BytesRead += sc.BytesRead()
+	scanned := int64(total)
+	e.ctr.Edges.Add(scanned)
+	itRow.EdgesStreamed += scanned
+	if trim {
+		itRow.StayEdges += stayed
+		e.trimmed += scanned - stayed
+		e.ctr.StayEdges.Add(stayed)
+		e.ctr.StayBytes.Add(stayed * graph.EdgeBytes)
+	}
+	bs.Attr("edges", scanned).Attr("stay_edges", stayed).End()
+	d.split = true
+
+	// Apply the winners partition by partition; only partitions that
+	// discovered vertices pay vertex-file traffic.
+	for p := 0; p < e.rt.Parts.P(); p++ {
+		if err := e.rt.Checkpoint(); err != nil {
+			return newly, degSum, err
+		}
+		st := &e.parts[p]
+		lo, hi := e.rt.Parts.Interval(p)
+		var count uint64
+		for vid := lo; vid < hi; vid++ {
+			if bestPart[vid] >= 0 {
+				count++
+			}
+		}
+		st.updates = int64(count)
+		st.frontier = count
+		if count == 0 {
+			continue
+		}
+		lds := itSpan.Child("load").SetPart(p)
+		v, verr := e.loadVerts(p)
+		lds.End()
+		if verr != nil {
+			return newly, degSum, verr
+		}
+		for vid := lo; vid < hi; vid++ {
+			if bestPart[vid] < 0 {
+				continue
+			}
+			i := int(vid - lo)
+			v.Level[i] = uint32(iter) + 1
+			v.Parent[i] = bestParent[vid]
+			d.next.Set(vid)
+			e.rt.VisitedBits.Set(vid)
+			degSum += float64(e.rt.OutDeg[vid])
+		}
+		svs := itSpan.Child("load").SetPart(p)
+		verr = e.saveVerts(p, iter, v)
+		svs.End()
+		if verr != nil {
+			return newly, degSum, verr
+		}
+		st.visitedCount += count
+		newly += count
+		e.ctr.Visited.Add(int64(count))
+	}
+	e.rt.Compute(float64(scanned)*e.rt.Costs.ScatterPerEdge +
+		float64(candidates)*e.rt.Costs.GatherPerUpdate +
+		float64(newly)*e.rt.Costs.PerVertex +
+		float64(stayed)*e.rt.Costs.AppendPerStay)
+	return newly, degSum, nil
+}
+
+// bottomUpPartition scans one partition's reverse-edge input against
+// the frontier bitmap, applying the shared byte-identity winner rule
+// (smallest source partition, first seen wins ties — see
+// internal/xstream/direction.go). When trimming is active the edges
+// that survive the trim rule — target still unvisited when its stay
+// decision merges — are rewritten to a reverse stay file that replaces
+// the input. Classification needs only the in-RAM visited bitmap, so
+// the partition's vertex file is loaded (and written back) only when
+// the scan actually discovered vertices. Classification runs on the
+// pool's workers against read-only state; winners and stay appends are
+// resolved on the engine thread in chunk order and winners applied
+// after the pool drains, so file bytes and results are identical for
+// any worker count.
+func (e *engine) bottomUpPartition(p, iter int, d *dirRun, itRow *metrics.Iteration, itSpan *obs.Span) (newly uint64, degSum float64, err error) {
+	st := &e.parts[p]
+	e.rt.AwaitFile(d.revInput[p])
+	sc, err := stream.NewEdgeScanner(e.rt.Vol, d.revInput[p], d.revTiming[p], e.rt.Opts.StreamBufSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sc.Close()
+	sc.Prefetch(e.rt.Opts.PrefetchBuffers)
+
+	var stay *stream.Writer[graph.Edge]
+	var stayTiming stream.Timing
+	if itRow.TrimActive && !d.revBroken[p] {
+		stayTiming = e.otherTiming(d.revTiming[p])
+		w, werr := stream.NewFramedEdgeWriter(e.rt.Vol, e.revStayFile(iter, p), stayTiming, e.opts.StayBufSize)
+		switch {
+		case werr == nil:
+			w.SetAsync() // write-behind; the next pass barriers through AwaitFile
+			stay = w
+		case errors.Is(werr, errs.ErrIOFailed):
+			// Cannot create the stay file: degrade this partition to
+			// untrimmed reverse rescans instead of failing the run.
+			d.revBroken[p] = true
+			e.stayDisabled++
+			e.ctr.StayDisabled.Set(int64(e.stayDisabled))
+		default:
+			return 0, 0, werr
+		}
+	}
+
+	plo, phi := e.rt.Parts.Interval(p)
+	lo, n := plo, int(phi-plo)
+	bestPart := make([]int32, n)
+	bestParent := make([]graph.VertexID, n)
+	for i := range bestPart {
+		bestPart[i] = -1
+	}
+	trim := stay != nil
+	var scanned, candidates, stayed int64
+	classify := func(edges []graph.Edge, out *stream.Shard) {
+		for _, r := range edges {
+			out.Scanned++
+			i := int(r.Src - lo)
+			if i < 0 || i >= n {
+				out.Err = fmt.Errorf("fastbfs: reverse edge %v outside partition [%d,%d)", r, lo, int(lo)+n)
+				return
+			}
+			if e.rt.VisitedBits.Get(r.Src) {
+				continue // target has its parent — dead in-edge
+			}
+			if trim {
+				out.Stays = append(out.Stays, r)
+			}
+			if d.frontier.Get(r.Dst) {
+				pu := e.rt.Parts.Of(r.Dst)
+				out.ByPart[pu] = append(out.ByPart[pu], graph.Update{Dst: r.Src, Parent: r.Dst})
+				out.Emitted++
+			}
+		}
+	}
+	merge := func(s *stream.Shard) error {
+		scanned += s.Scanned
+		candidates += s.Emitted
+		e.ctr.Edges.Add(s.Scanned)
+		for pu, cands := range s.ByPart {
+			for _, c := range cands {
+				i := int(c.Dst - lo)
+				if bestPart[i] < 0 || int32(pu) < bestPart[i] {
+					bestPart[i] = int32(pu)
+					bestParent[i] = c.Parent
+				}
+			}
+		}
+		// The candidates merged so far (strictly in chunk order, so the
+		// filter is deterministic for any worker count) are vertices
+		// that WILL be visited when this pass ends: their remaining
+		// in-edges are dead too, and dropping them here is what keeps
+		// the first reverse stay from being a full rewrite of the pass
+		// that discovers most of the graph.
+		for _, r := range s.Stays {
+			if bestPart[int(r.Src-lo)] >= 0 {
+				continue
+			}
+			stayed++
+			if err := stay.Append(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bs := itSpan.Child("bottomup").SetPart(p)
+	if err := e.pool.RunScanner(sc, classify, merge); err != nil {
+		bs.End()
+		if stay != nil {
+			stay.Abort()
+		}
+		if errors.Is(err, errs.ErrCorrupted) {
+			// Unlike a forward stay there is no wider fallback input
+			// once the reverse chain has advanced: fail stop.
+			return 0, 0, fmt.Errorf("fastbfs: reverse input %s: %w", d.revInput[p], err)
+		}
+		return 0, 0, err
+	}
+	e.rt.BytesRead += sc.BytesRead()
+	bs.Attr("edges", scanned).End()
+
+	if stay != nil {
+		if cerr := stay.Close(); cerr != nil {
+			// The rewrite failed but the current input is intact:
+			// degrade to untrimmed rescans of it.
+			d.revBroken[p] = true
+			e.stayDisabled++
+			e.ctr.StayDisabled.Set(int64(e.stayDisabled))
+		} else {
+			e.rt.BytesWritten += stay.BytesWritten()
+			e.rt.RegisterReady(e.revStayFile(iter, p), stay.LastOp())
+			e.removeLater(d.revInput[p])
+			d.revInput[p] = e.revStayFile(iter, p)
+			d.revTiming[p] = stayTiming
+			d.revEdges[p] = stayed
+			itRow.StayEdges += stayed
+			e.trimmed += scanned - stayed
+			e.ctr.StayEdges.Add(stayed)
+			e.ctr.StayBytes.Add(stayed * graph.EdgeBytes)
+		}
+	}
+
+	for i := range bestPart {
+		if bestPart[i] >= 0 {
+			newly++
+		}
+	}
+	if newly > 0 {
+		// Only a partition that actually discovered vertices pays any
+		// vertex-file traffic: load, apply the winners, write back.
+		lds := itSpan.Child("load").SetPart(p)
+		v, err := e.loadVerts(p)
+		lds.End()
+		if err != nil {
+			return 0, 0, err
+		}
+		for i := range bestPart {
+			if bestPart[i] >= 0 {
+				v.Level[i] = uint32(iter) + 1
+				v.Parent[i] = bestParent[i]
+				vid := lo + graph.VertexID(i)
+				d.next.Set(vid)
+				e.rt.VisitedBits.Set(vid)
+				degSum += float64(e.rt.OutDeg[vid])
+			}
+		}
+		svs := itSpan.Child("load").SetPart(p)
+		err = e.saveVerts(p, iter, v)
+		svs.End()
+		if err != nil {
+			return newly, degSum, err
+		}
+	}
+	e.ctr.Visited.Add(int64(newly))
+	st.visitedCount += newly
+	// Seed the state selective scheduling consults when the run hands
+	// back to top-down: the partition's share of the new frontier.
+	st.updates = int64(newly)
+	st.frontier = newly
+	itRow.EdgesStreamed += scanned
+	work := float64(scanned)*e.rt.Costs.ScatterPerEdge +
+		float64(candidates)*e.rt.Costs.GatherPerUpdate +
+		float64(newly)*e.rt.Costs.PerVertex
+	if trim {
+		work += float64(stayed) * e.rt.Costs.AppendPerStay
+	}
+	e.rt.Compute(work)
+	return newly, degSum, nil
+}

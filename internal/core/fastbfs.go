@@ -148,6 +148,9 @@ func Run(vol storage.Volume, graphName string, opts Options) (*Result, error) {
 // files and removes its working files instead of running to completion.
 func RunContext(ctx context.Context, vol storage.Volume, graphName string, opts Options) (*Result, error) {
 	opts.SetDefaults()
+	if err := resolveDirectionPolicy(&opts); err != nil {
+		return nil, err
+	}
 	if opts.CheckpointVol != nil {
 		// A resumable run must leave its working files behind: Cleanup
 		// would delete the very state the manifest names.
@@ -208,6 +211,10 @@ type partState struct {
 	// frontier is the number of vertices newly discovered in this
 	// partition's last gather (the partition's share of the frontier).
 	frontier uint64
+	// visitedCount is the running number of visited vertices in this
+	// partition, maintained by every gather, root mark and bottom-up
+	// pass; the bottom-up skip rule reads it instead of the vertex file.
+	visitedCount uint64
 }
 
 type engine struct {
@@ -220,6 +227,14 @@ type engine struct {
 
 	tr  *obs.Tracer
 	ctr obs.EngineCounters
+
+	// ds is the direction heuristic state; dir the bottom-up working
+	// state, allocated at the first switch (see direction.go). candDeg
+	// accumulates the out-degree sum over the current top-down
+	// iteration's emitted update targets — α's look-ahead input.
+	ds      *xstream.DirState
+	dir     *dirRun
+	candDeg float64
 
 	// ck is the checkpoint writer (nil when not checkpointing);
 	// graveyard holds deletions deferred until the next manifest no
@@ -262,10 +277,20 @@ func (e *engine) otherTiming(t stream.Timing) stream.Timing {
 }
 
 func (e *engine) run() (*Result, error) {
-	run := metrics.Run{Engine: EngineName}
+	run := metrics.Run{Engine: EngineName, SwitchIteration: -1}
 	e.tr = e.rt.Tracer()
 	e.ctr = obs.NewEngineCounters(e.tr)
 	e.pool = e.rt.NewScatterPool(e.ctr)
+	dir, fellBack, err := e.rt.ResolveDirection()
+	if err != nil {
+		return nil, err
+	}
+	if fellBack {
+		run.DirectionFallback = true
+		e.ctr.DirectionFallbacks.Add(1)
+	}
+	e.ds = xstream.NewDirState(e.rt, dir)
+	e.ctr.SwitchIteration.Set(-1)
 	budget := e.opts.ResidencyBudget
 	if e.opts.CheckpointVol != nil {
 		// A promoted partition's live edge set exists only in RAM and
@@ -329,6 +354,7 @@ func (e *engine) run() (*Result, error) {
 		maxIter = startIter
 	}
 
+	prevBottom := false
 	for iter := startIter; iter < maxIter; iter++ {
 		// Iteration iter consumes update set iterIn(iter) and produces
 		// the other one (the two sets' roles switch every iteration).
@@ -336,6 +362,28 @@ func (e *engine) run() (*Result, error) {
 		if err := e.rt.Checkpoint(); err != nil {
 			return nil, err
 		}
+		bottom := e.ds.Decide(iter)
+		if bottom != prevBottom {
+			e.ctr.DirectionSwitches.Add(1)
+		}
+		if bottom {
+			newly, err := e.bottomUpIteration(iter, in, prevBottom, &run, runSpan)
+			if err != nil {
+				return nil, err
+			}
+			prevBottom = true
+			if newly == 0 {
+				break
+			}
+			continue
+		}
+		// A top-down iteration right after a bottom-up one has no update
+		// files to gather: the bottom-up pass already formed this level's
+		// frontier in the vertex state (and seeded each partition's
+		// update/frontier counts for selective scheduling).
+		skipGather := prevBottom
+		prevBottom = false
+		e.candDeg = 0
 		itSpan := runSpan.Child("iteration").SetIter(iter)
 		e.ctr.Iteration.Set(int64(iter))
 		trimNow := e.trimActive(iter)
@@ -352,7 +400,7 @@ func (e *engine) run() (*Result, error) {
 				sh.Abort()
 				return nil, err
 			}
-			if err := e.iteratePartition(p, iter, trimNow, sh, &itRow, itSpan); err != nil {
+			if err := e.iteratePartition(p, iter, trimNow, skipGather, sh, &itRow, itSpan); err != nil {
 				sh.Abort()
 				return nil, err
 			}
@@ -384,6 +432,15 @@ func (e *engine) run() (*Result, error) {
 		if iter == 0 {
 			itRow.Frontier = 1
 		}
+		if skipGather {
+			itRow.Frontier = e.dir.carryFrontier
+		}
+		// The scatter emits one update per frontier out-edge — frontier
+		// vertices were unvisited until now, so trimming never dropped
+		// their edges — making emittedTotal exactly this frontier's
+		// out-degree sum.
+		e.ds.RecordFrontier(itRow.Frontier, float64(emittedTotal), !skipGather)
+		e.ds.RecordScatter(emittedTotal, e.candDeg)
 		run.Iterations = append(run.Iterations, itRow)
 		e.ctr.Frontier.Set(int64(itRow.Frontier))
 		e.ctr.BytesRead.Set(e.rt.BytesRead)
@@ -394,7 +451,7 @@ func (e *engine) run() (*Result, error) {
 			Attr("stay_edges", itRow.StayEdges).End()
 		e.tr.EmitCounters()
 
-		if iter > 0 {
+		if iter > 0 && !skipGather {
 			for p := 0; p < e.rt.Parts.P(); p++ {
 				e.removeLater(e.rt.UpdateFile(in, p))
 			}
@@ -429,6 +486,9 @@ func (e *engine) run() (*Result, error) {
 	if e.ck != nil {
 		run.Checkpoints = e.ck.written
 	}
+	run.BottomUpIterations = int(e.ds.BottomUpIters)
+	run.DirectionSwitches = int(e.ds.Switches)
+	run.SwitchIteration = e.ds.SwitchIteration
 	run.StayBufferWaits = e.sw.BufferWaits()
 	run.ResidentParts = e.resd.ResidentParts()
 	run.ResidentBytes = e.resd.Bytes()
@@ -496,7 +556,7 @@ func (e *engine) dropFallback(st *partState) {
 // updates addressed to it, then scatter its edge input (adopting or
 // cancelling the pending stay file), writing a new stay file if trimming
 // is active.
-func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span) error {
+func (e *engine) iteratePartition(p, iter int, trimNow, skipGather bool, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span) error {
 	st := &e.parts[p]
 	rootHere := iter == 0 && e.rt.Parts.Contains(p, e.rt.Opts.Root)
 
@@ -514,7 +574,7 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 	// A promoted partition's edges live in RAM: no stay file to resolve,
 	// no device input to open (DESIGN.md §8).
 	if st.resident != nil {
-		return e.iterateResident(p, iter, sh, itRow, itSpan)
+		return e.iterateResident(p, iter, skipGather, sh, itRow, itSpan)
 	}
 
 	// Resolve and open the scatter input ahead of the gather: the
@@ -539,6 +599,7 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 		v = e.rt.InitVerts(p)
 		if e.rt.MarkRoot(v) {
 			st.frontier = 1
+			st.visitedCount++
 			e.visited++
 			e.ctr.Visited.Add(1)
 			itRow.NewlyVisited++
@@ -553,19 +614,22 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 			edgeScan.Close()
 			return err
 		}
-		gs := itSpan.Child("gather").SetPart(p)
-		newly, applied, err := e.gather(v, e.rt.UpdateFile(iterIn(iter), p), uint32(iter))
-		gs.Attr("applied", applied).End()
-		if err != nil {
-			edgeScan.Close()
-			return err
+		if !skipGather {
+			gs := itSpan.Child("gather").SetPart(p)
+			newly, applied, err := e.gather(v, e.rt.UpdateFile(iterIn(iter), p), uint32(iter), nil)
+			gs.Attr("applied", applied).End()
+			if err != nil {
+				edgeScan.Close()
+				return err
+			}
+			e.ctr.UpdatesApplied.Add(applied)
+			e.ctr.Visited.Add(int64(newly))
+			st.frontier = newly
+			st.visitedCount += newly
+			e.visited += newly
+			itRow.NewlyVisited += newly
+			itRow.Updates += applied
 		}
-		e.ctr.UpdatesApplied.Add(applied)
-		e.ctr.Visited.Add(int64(newly))
-		st.frontier = newly
-		e.visited += newly
-		itRow.NewlyVisited += newly
-		itRow.Updates += applied
 	}
 
 	// Scatter only when this partition holds frontier vertices (unless
@@ -617,8 +681,10 @@ func (e *engine) iteratePartition(p, iter int, trimNow bool, sh *stream.Shuffler
 	}
 
 	// Save vertex state when it changed (gather applied something or
-	// this is the initializing iteration).
-	if iter == 0 || st.frontier > 0 || e.opts.DisableSelectiveScheduling {
+	// this is the initializing iteration). A skip-gather iteration
+	// never modifies vertex state: the bottom-up pass that formed this
+	// frontier already saved it.
+	if iter == 0 || st.frontier > 0 && !skipGather || e.opts.DisableSelectiveScheduling {
 		svs := itSpan.Child("load").SetPart(p)
 		err := e.saveVerts(p, iter, v)
 		svs.End()
@@ -779,7 +845,9 @@ func (e *engine) resolveInput(p int, itRow *metrics.Iteration) (string, stream.T
 }
 
 // gather streams partition updates and marks unvisited destinations.
-func (e *engine) gather(v *xstream.Verts, updFile string, level uint32) (newly uint64, applied int64, err error) {
+// onNew, when non-nil, is called for each newly visited vertex (the
+// bottom-up transition pass uses it to build its frontier bitmap).
+func (e *engine) gather(v *xstream.Verts, updFile string, level uint32, onNew func(graph.VertexID)) (newly uint64, applied int64, err error) {
 	e.rt.AwaitFile(updFile)
 	sc, err := stream.NewUpdateScanner(e.rt.Vol, updFile, e.auxTiming(), e.rt.Opts.StreamBufSize)
 	if err != nil {
@@ -804,6 +872,12 @@ func (e *engine) gather(v *xstream.Verts, updFile string, level uint32) (newly u
 			v.Level[i] = level
 			v.Parent[i] = u.Parent
 			newly++
+			if e.rt.VisitedBits != nil {
+				e.rt.VisitedBits.Set(u.Dst)
+			}
+			if onNew != nil {
+				onNew(u.Dst)
+			}
 		}
 	}
 	e.rt.BytesRead += sc.BytesRead()
@@ -859,6 +933,13 @@ func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter 
 			if len(us) == 0 {
 				continue
 			}
+			if e.rt.OutDeg != nil {
+				// α's look-ahead: the emitted updates are the next
+				// level's candidates; sum their out-degrees.
+				for _, u := range us {
+					e.candDeg += float64(e.rt.OutDeg[u.Dst])
+				}
+			}
 			if err := sh.AppendTo(p, us); err != nil {
 				return err
 			}
@@ -886,7 +967,7 @@ func (e *engine) scatter(v *xstream.Verts, sc *stream.Scanner[graph.Edge], iter 
 // gather is unchanged (updates still stream from the device), but the
 // scatter reads the resident edge slice and trims it in place. There is
 // no stay file, so no adopt-or-cancel decision and no stay-write span.
-func (e *engine) iterateResident(p, iter int, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span) error {
+func (e *engine) iterateResident(p, iter int, skipGather bool, sh *stream.Shuffler, itRow *metrics.Iteration, itSpan *obs.Span) error {
 	st := &e.parts[p]
 	lds := itSpan.Child("load").SetPart(p)
 	v, err := e.loadVerts(p)
@@ -894,18 +975,21 @@ func (e *engine) iterateResident(p, iter int, sh *stream.Shuffler, itRow *metric
 	if err != nil {
 		return err
 	}
-	gs := itSpan.Child("gather").SetPart(p)
-	newly, applied, err := e.gather(v, e.rt.UpdateFile(iterIn(iter), p), uint32(iter))
-	gs.Attr("applied", applied).End()
-	if err != nil {
-		return err
+	if !skipGather {
+		gs := itSpan.Child("gather").SetPart(p)
+		newly, applied, err := e.gather(v, e.rt.UpdateFile(iterIn(iter), p), uint32(iter), nil)
+		gs.Attr("applied", applied).End()
+		if err != nil {
+			return err
+		}
+		e.ctr.UpdatesApplied.Add(applied)
+		e.ctr.Visited.Add(int64(newly))
+		st.frontier = newly
+		st.visitedCount += newly
+		e.visited += newly
+		itRow.NewlyVisited += newly
+		itRow.Updates += applied
 	}
-	e.ctr.UpdatesApplied.Add(applied)
-	e.ctr.Visited.Add(int64(newly))
-	st.frontier = newly
-	e.visited += newly
-	itRow.NewlyVisited += newly
-	itRow.Updates += applied
 
 	if st.frontier > 0 || e.opts.DisableSelectiveScheduling {
 		ss := itSpan.Child("scatter").SetPart(p).Attr("resident", 1)
@@ -925,7 +1009,7 @@ func (e *engine) iterateResident(p, iter int, sh *stream.Shuffler, itRow *metric
 		e.ctr.Skipped.Add(1)
 	}
 
-	if st.frontier > 0 || e.opts.DisableSelectiveScheduling {
+	if st.frontier > 0 && !skipGather || e.opts.DisableSelectiveScheduling {
 		svs := itSpan.Child("load").SetPart(p)
 		err := e.saveVerts(p, iter, v)
 		svs.End()
@@ -977,6 +1061,13 @@ func (e *engine) scatterResident(v *xstream.Verts, res *stream.Resident, iter ui
 		for p, us := range s.ByPart {
 			if len(us) == 0 {
 				continue
+			}
+			if e.rt.OutDeg != nil {
+				// α's look-ahead: the emitted updates are the next
+				// level's candidates; sum their out-degrees.
+				for _, u := range us {
+					e.candDeg += float64(e.rt.OutDeg[u.Dst])
+				}
 			}
 			if err := sh.AppendTo(p, us); err != nil {
 				return err

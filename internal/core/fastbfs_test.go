@@ -374,7 +374,7 @@ func TestFastBFSWallClockOnOSVolume(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only the dataset files remain.
-	if n := len(vol.List()); n != 2 {
+	if n := len(vol.List()); n != 3 {
 		t.Fatalf("files left on OS volume: %v", vol.List())
 	}
 }

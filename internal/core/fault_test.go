@@ -105,7 +105,7 @@ func TestRunSurfacesPrepareFailure(t *testing.T) {
 	}
 	// Only the dataset survives; no half-written working files.
 	for _, f := range vol.List() {
-		if f != graph.EdgeFileName(m.Name) && f != graph.ConfFileName(m.Name) {
+		if f != graph.EdgeFileName(m.Name) && f != graph.ConfFileName(m.Name) && f != graph.ReverseFileName(m.Name) {
 			t.Errorf("leftover file %s after failed run", f)
 		}
 	}
@@ -293,7 +293,7 @@ func TestRunByteIdenticalUnderTransientFaults(t *testing.T) {
 	}
 	// Zero file leaks: only the stored dataset survives the run.
 	for _, f := range vol.List() {
-		if f != graph.EdgeFileName(m.Name) && f != graph.ConfFileName(m.Name) {
+		if f != graph.EdgeFileName(m.Name) && f != graph.ConfFileName(m.Name) && f != graph.ReverseFileName(m.Name) {
 			t.Errorf("leftover working file %s", f)
 		}
 	}

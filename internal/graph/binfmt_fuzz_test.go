@@ -127,6 +127,66 @@ func FuzzFrameFormat(f *testing.F) {
 	})
 }
 
+func FuzzReverseFormat(f *testing.F) {
+	// The reverse-edge (.rev) file: every edge endpoint-swapped, in
+	// original order, inside the framed container. The bottom-up engines
+	// trust this file for correctness (a wrong in-edge silently corrupts
+	// parent trees), so the format must round-trip exactly and every
+	// truncation or byte flip must be detected — never decoded quietly.
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0}, uint16(3))
+	f.Add([]byte{7, 0, 0, 0, 7, 0, 0, 0, 0, 1, 0, 0, 0xfe, 0, 0, 0}, uint16(11))
+	f.Add(bytes.Repeat([]byte{0x05, 0, 0, 0}, 64), uint16(200))
+	f.Fuzz(func(t *testing.T, b []byte, mut uint16) {
+		n := len(b) / EdgeBytes * EdgeBytes
+		edges, err := BytesToEdges(b[:n])
+		if err != nil {
+			t.Fatalf("aligned prefix rejected: %v", err)
+		}
+		enc := reverseBytes(edges)
+
+		// Property 1: round trip. Deframing yields exactly the input
+		// edges, endpoint-swapped, in original order.
+		payload, err := DeframeAll(enc)
+		if err != nil {
+			t.Fatalf("clean reverse stream rejected: %v", err)
+		}
+		got, err := BytesToEdges(payload)
+		if err != nil {
+			t.Fatalf("reverse payload misaligned: %v", err)
+		}
+		if len(got) != len(edges) {
+			t.Fatalf("reverse holds %d edges, stored %d", len(got), len(edges))
+		}
+		for i := range got {
+			if got[i] != edges[i].Reverse() {
+				t.Fatalf("record %d: %v, want %v reversed", i, got[i], edges[i])
+			}
+		}
+		if len(enc) == 0 {
+			return
+		}
+
+		// Property 2: every strict truncation is detected.
+		if cut := int(mut) % len(enc); cut < len(enc) {
+			if _, err := DeframeAll(enc[:cut]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes went undetected", cut, len(enc))
+			}
+		}
+
+		// Property 3: a single flipped byte never reproduces the clean
+		// payload — it must surface as an error or as different bytes
+		// (the engines compare the decoded count against the config and
+		// fail stop on either signal).
+		pos := int(mut) % len(enc)
+		mutb := bytes.Clone(enc)
+		mutb[pos] ^= 0x01
+		if out, err := DeframeAll(mutb); err == nil && bytes.Equal(out, payload) {
+			t.Fatalf("flipped byte %d of %d went undetected", pos, len(enc))
+		}
+	})
+}
+
 func FuzzWEdgeBytesRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0x80, 0x3f}) // 1 -> 2 weight 1.0

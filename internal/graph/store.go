@@ -18,6 +18,53 @@ func EdgeFileName(name string) string { return name + ".edges" }
 // ConfFileName returns the configuration file name for a dataset.
 func ConfFileName(name string) string { return name + ".conf" }
 
+// ReverseFileName returns the reverse-edge (in-edge) file name for a
+// dataset. The file holds every edge of the dataset with Src and Dst
+// swapped, in the same order as the forward list, inside the CRC32-C
+// framed container — so the bottom-up engines can stream in-edges with
+// end-to-end integrity checking. The file is optional: graphs stored
+// before it existed load and run fine, only the bottom-up direction is
+// unavailable for them.
+func ReverseFileName(name string) string { return name + ".rev" }
+
+// HasReverse reports whether a stored dataset carries a reverse-edge
+// file.
+func HasReverse(vol storage.Volume, name string) bool {
+	sz, err := vol.Size(ReverseFileName(name))
+	return err == nil && sz > 0
+}
+
+// reverseFrameEdges caps the edge count per frame in the reverse file
+// (1 MiB payloads), keeping reader allocations bounded.
+const reverseFrameEdges = (1 << 20) / EdgeBytes
+
+// reverseBytes encodes edges with endpoints swapped, in original order,
+// into the framed container.
+func reverseBytes(edges []Edge) []byte {
+	var out writeBuf
+	fw := NewFrameWriter(&out)
+	buf := make([]byte, 0, reverseFrameEdges*EdgeBytes)
+	for i := 0; i < len(edges); i += reverseFrameEdges {
+		end := i + reverseFrameEdges
+		if end > len(edges) {
+			end = len(edges)
+		}
+		buf = buf[:0]
+		for _, e := range edges[i:end] {
+			var rec [EdgeBytes]byte
+			PutEdge(rec[:], e.Reverse())
+			buf = append(buf, rec[:]...)
+		}
+		if _, err := fw.Write(buf); err != nil {
+			panic(err) // writeBuf cannot fail and the payload is under the cap
+		}
+	}
+	if err := fw.Finish(); err != nil {
+		panic(err)
+	}
+	return out.b
+}
+
 // Store writes a graph — binary edge list plus configuration file — to a
 // volume. The edge count in m is overwritten with len(edges).
 func Store(vol storage.Volume, m Meta, edges []Edge) error {
@@ -31,6 +78,9 @@ func Store(vol storage.Volume, m Meta, edges []Edge) error {
 		}
 	}
 	if err := storage.WriteAll(vol, EdgeFileName(m.Name), EdgesToBytes(edges)); err != nil {
+		return err
+	}
+	if err := storage.WriteAll(vol, ReverseFileName(m.Name), reverseBytes(edges)); err != nil {
 		return err
 	}
 	var conf strings.Builder

@@ -41,6 +41,10 @@ type Iteration struct {
 	Cancelled int
 	// TrimActive reports whether trimming ran this iteration.
 	TrimActive bool
+	// BottomUp reports whether this iteration ran in the bottom-up
+	// direction (in-edge scan against the frontier bitmap) instead of
+	// the top-down scatter/gather.
+	BottomUp bool
 }
 
 // Run is the complete measurement record of one engine execution.
@@ -104,6 +108,17 @@ type Run struct {
 	// instead of re-executed (0 for a fresh run).
 	Checkpoints int
 	Resumed     int
+
+	// BottomUpIterations counts iterations run in the bottom-up
+	// direction; DirectionSwitches counts top-down↔bottom-up mode
+	// changes; SwitchIteration is the first bottom-up iteration, -1
+	// when the run stayed top-down throughout. DirectionFallback is set
+	// when direction=auto demoted itself to top-down because the stored
+	// graph has no reverse-edge file.
+	BottomUpIterations int
+	DirectionSwitches  int
+	SwitchIteration    int
+	DirectionFallback  bool
 }
 
 // IOWaitRatio is iowait / exec time (Fig. 6's metric).
@@ -157,6 +172,9 @@ func (r *Run) String() string {
 	if r.Resumed > 0 {
 		s += fmt.Sprintf(" resumed=%d", r.Resumed)
 	}
+	if r.BottomUpIterations > 0 {
+		s += fmt.Sprintf(" bottomup=%d switch@%d", r.BottomUpIterations, r.SwitchIteration)
+	}
 	return s
 }
 
@@ -205,15 +223,26 @@ func (r *Run) Report() string {
 	if r.Checkpoints > 0 || r.Resumed > 0 {
 		fmt.Fprintf(&b, "checkpoints:   %d written, %d iterations restored by resume\n", r.Checkpoints, r.Resumed)
 	}
+	if r.BottomUpIterations > 0 {
+		fmt.Fprintf(&b, "direction:     %d bottom-up iterations, %d switches, first at iteration %d\n",
+			r.BottomUpIterations, r.DirectionSwitches, r.SwitchIteration)
+	}
+	if r.DirectionFallback {
+		b.WriteString("direction:     auto fell back to top-down (no reverse-edge file)\n")
+	}
 	for _, d := range r.Devices {
 		fmt.Fprintf(&b, "device %-6s read=%.4fGB written=%.4fGB busy=%.4fs ops=%d\n",
 			d.Name, GB(d.BytesRead), GB(d.BytesWritten), d.BusyTime, d.Ops)
 	}
 	if len(r.Iterations) > 0 {
-		b.WriteString("iter  frontier      new     edges   updates      stay  skip  cancel trim\n")
+		b.WriteString("iter  dir  frontier      new     edges   updates      stay  skip  cancel trim\n")
 		for _, it := range r.Iterations {
-			fmt.Fprintf(&b, "%4d %9d %8d %9d %9d %9d %5d %7d %v\n",
-				it.Index, it.Frontier, it.NewlyVisited, it.EdgesStreamed, it.Updates, it.StayEdges,
+			dir := "down"
+			if it.BottomUp {
+				dir = "up"
+			}
+			fmt.Fprintf(&b, "%4d %4s %9d %8d %9d %9d %9d %5d %7d %v\n",
+				it.Index, dir, it.Frontier, it.NewlyVisited, it.EdgesStreamed, it.Updates, it.StayEdges,
 				it.SkippedPartitions, it.Cancelled, it.TrimActive)
 		}
 	}

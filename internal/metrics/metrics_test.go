@@ -83,15 +83,39 @@ func TestReportContainsEverything(t *testing.T) {
 		"trimmed edges: 99",
 		"stay-buf waits: 7",
 		"device hdd0",
-		"iter  frontier",
+		"iter  dir  frontier",
 	} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("Report missing %q", want)
 		}
 	}
-	// Per-iteration rows present.
-	if !strings.Contains(rep, "   1        10       10        90        12        40     1       1 true") {
+	// Per-iteration rows present, including the direction column.
+	if !strings.Contains(rep, "   1 down        10       10        90        12        40     1       1 true") {
 		t.Errorf("Report missing iteration row:\n%s", rep)
+	}
+}
+
+func TestReportDirectionSections(t *testing.T) {
+	r := sample()
+	r.Iterations[2].BottomUp = true
+	r.BottomUpIterations = 1
+	r.DirectionSwitches = 1
+	r.SwitchIteration = 2
+	rep := r.Report()
+	for _, want := range []string{
+		"direction:     1 bottom-up iterations, 1 switches, first at iteration 2",
+		"   2   up         0        0        40         3",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(r.String(), "bottomup=1 switch@2") {
+		t.Errorf("String missing direction summary: %s", r.String())
+	}
+	fb := &Run{Engine: "xstream", Graph: "g", ExecTime: 1, DirectionFallback: true}
+	if !strings.Contains(fb.Report(), "auto fell back to top-down") {
+		t.Error("Report missing fallback line")
 	}
 }
 

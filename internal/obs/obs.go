@@ -496,6 +496,11 @@ const (
 	CtrStayCorruptions = "stay_corruptions"    // adopted stay files that failed frame checks
 	CtrStayDisabled    = "stay_disabled_parts" // gauge: partitions with stay writing degraded off
 	CtrCheckpoints     = "checkpoints_written" // iteration manifests durably persisted
+
+	CtrBottomUpIters      = "bottomup_iterations" // iterations run in bottom-up direction
+	CtrDirectionSwitches  = "direction_switches"  // top-down↔bottom-up mode changes
+	CtrSwitchIteration    = "switch_iteration"    // gauge: first bottom-up iteration (-1 = never)
+	CtrDirectionFallbacks = "direction_fallbacks" // auto runs demoted to top-down (no reverse-edge file)
 )
 
 // Counter names maintained by the query service (internal/serve). They
@@ -559,6 +564,11 @@ type EngineCounters struct {
 	StayCorrupt    *Counter // adopted stay files that failed frame verification
 	StayDisabled   *Counter // gauge: partitions with stay writing degraded off
 	Checkpoints    *Counter // iteration manifests durably written
+
+	BottomUpIters      *Counter // iterations run in bottom-up direction
+	DirectionSwitches  *Counter // top-down↔bottom-up mode changes
+	SwitchIteration    *Counter // gauge: first bottom-up iteration (-1 = never)
+	DirectionFallbacks *Counter // auto runs demoted to top-down (no reverse-edge file)
 }
 
 // NewEngineCounters registers (or re-fetches) the standard counter set.
@@ -589,5 +599,10 @@ func NewEngineCounters(t *Tracer) EngineCounters {
 		StayCorrupt:    t.Counter(CtrStayCorruptions),
 		StayDisabled:   t.Counter(CtrStayDisabled),
 		Checkpoints:    t.Counter(CtrCheckpoints),
+
+		BottomUpIters:      t.Counter(CtrBottomUpIters),
+		DirectionSwitches:  t.Counter(CtrDirectionSwitches),
+		SwitchIteration:    t.Counter(CtrSwitchIteration),
+		DirectionFallbacks: t.Counter(CtrDirectionFallbacks),
 	}
 }

@@ -37,6 +37,10 @@ type Config struct {
 	Partitions      int
 	MaxIterations   int
 	ScatterWorkers  int
+	// Direction is the traversal direction policy: topdown (default),
+	// bottomup, or auto for the Beamer-style hybrid. Empty leaves the
+	// engine's defaulting (FASTBFS_DIRECTION) in effect.
+	Direction xstream.Direction
 
 	// FastBFS trim policy.
 	TrimStartIteration         int
@@ -125,6 +129,8 @@ func (c *Config) set(key, val string) error {
 		c.MaxIterations, err = strconv.Atoi(val)
 	case "scatter_workers":
 		c.ScatterWorkers, err = strconv.Atoi(val)
+	case "direction":
+		c.Direction, err = xstream.ParseDirection(val)
 	case "trim_start_iteration":
 		c.TrimStartIteration, err = strconv.Atoi(val)
 	case "trim_visited_fraction":
@@ -219,6 +225,7 @@ func (c Config) EngineOptions() xstream.Options {
 		Partitions:      c.Partitions,
 		MaxIterations:   c.MaxIterations,
 		ScatterWorkers:  c.ScatterWorkers,
+		Direction:       c.Direction,
 	}
 	if !c.Sim {
 		return o

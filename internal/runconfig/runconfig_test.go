@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"fastbfs/internal/xstream"
 )
 
 func TestParseFull(t *testing.T) {
@@ -17,6 +19,7 @@ stream_buf = 64K
 prefetch_buffers = 4
 partitions = 3
 max_iterations = 100
+direction = auto
 trim_start_iteration = 2
 trim_visited_fraction = 0.25
 disable_trimming = false
@@ -48,6 +51,9 @@ stay_disk_bandwidth_frac = 0.5
 	if cfg.TrimStartIteration != 2 || cfg.TrimVisitedFraction != 0.25 || !cfg.DisableSelectiveScheduling {
 		t.Fatalf("trim policy: %+v", cfg)
 	}
+	if cfg.Direction != xstream.DirectionAuto {
+		t.Fatalf("direction: %+v", cfg)
+	}
 
 	o := cfg.CoreOptions()
 	if o.Base.MemoryBudget != 256<<20 || o.Base.Threads != 8 {
@@ -58,6 +64,9 @@ stay_disk_bandwidth_frac = 0.5
 	}
 	if o.ResidencyBudget != 64<<20 {
 		t.Fatalf("residency budget: %d", o.ResidencyBudget)
+	}
+	if o.Base.Direction != xstream.DirectionAuto {
+		t.Fatalf("direction not propagated: %+v", o.Base)
 	}
 	sim := o.Base.Sim
 	if sim == nil || sim.MainDisk == nil || sim.AuxDisk == nil || sim.StayDisk == nil {
@@ -100,6 +109,7 @@ func TestParseErrors(t *testing.T) {
 		"bad seek scale":   "seek_scale = 0\n",
 		"bad trim frac":    "trim_visited_fraction = 1.5\n",
 		"negative stay bw": "stay_disk_bandwidth_frac = -1\n",
+		"bad direction":    "direction = sideways\n",
 	}
 	for name, in := range cases {
 		if _, err := Parse(strings.NewReader(in)); err == nil {

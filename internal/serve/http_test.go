@@ -14,6 +14,7 @@ import (
 	"fastbfs/internal/graph"
 	"fastbfs/internal/serve"
 	"fastbfs/internal/storage"
+	"fastbfs/internal/xstream"
 )
 
 // HTTP transport tests: the sentinel-to-status mapping (400/404/429/504)
@@ -296,6 +297,47 @@ func goPost(url, body string) chan int {
 		done <- resp.StatusCode
 	}()
 	return done
+}
+
+func TestHTTPServesStaleGraphWithoutReverse(t *testing.T) {
+	// A graph stored before the reverse-edge file existed must stay
+	// fully servable even when the service is configured direction=auto:
+	// every query silently falls back to pure top-down instead of
+	// erroring, in both out-of-core engines.
+	vol, m := storedGraph(t)
+	vol.Remove(graph.ReverseFileName(m.Name))
+
+	cfg := serve.Config{Base: smallBase()}
+	cfg.Base.Base.Direction = xstream.DirectionAuto
+	svc, err := serve.New(vol, m.Name, cfg)
+	if err != nil {
+		t.Fatalf("service refused a graph without a reverse file: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+
+	want := refBFS(t, serve.EngineFastBFS, vol, m.Name, 1)
+	for _, engine := range []string{"fastbfs", "xstream"} {
+		resp, body := postQuery(t, ts.URL,
+			`{"algorithm":"bfs","engine":"`+engine+`","root":1,"include_values":true,"no_cache":true}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on stale graph: status = %d, body %s", engine, resp.StatusCode, body)
+		}
+		var hr struct {
+			Visited uint64   `json:"visited"`
+			Levels  []uint32 `json:"levels"`
+		}
+		if err := json.Unmarshal(body, &hr); err != nil {
+			t.Fatal(err)
+		}
+		if hr.Visited != want.Visited {
+			t.Fatalf("%s visited %d, want %d", engine, hr.Visited, want.Visited)
+		}
+		if !reflect.DeepEqual(hr.Levels, want.Levels) {
+			t.Fatalf("%s levels on the stale graph differ from the top-down reference", engine)
+		}
+	}
 }
 
 func TestHTTPBusy(t *testing.T) {

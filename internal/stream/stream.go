@@ -360,6 +360,18 @@ func NewEdgeWriter(vol storage.Volume, name string, timing Timing, bufSize int) 
 	return NewWriter(vol, name, timing, bufSize, graph.EdgeBytes, graph.PutEdge)
 }
 
+// NewFramedEdgeWriter buffers graph.Edge records into a file written in
+// the checksummed framed format (one frame per flush). Used for the
+// reverse-edge partitions and reverse stay files, whose corruption must
+// surface as errs.ErrCorrupted instead of wrong bottom-up parents.
+func NewFramedEdgeWriter(vol storage.Volume, name string, timing Timing, bufSize int) (*Writer[graph.Edge], error) {
+	w, err := createFramed(vol, name, timing.Retry)
+	if err != nil {
+		return nil, err
+	}
+	return newWriterOver(w, timing, bufSize, graph.EdgeBytes, graph.PutEdge), nil
+}
+
 // NewUpdateWriter buffers graph.Update records into a file, written in
 // the checksummed framed format (one frame per flush) so corruption is
 // detected when the next iteration gathers it.

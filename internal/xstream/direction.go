@@ -1,0 +1,301 @@
+package xstream
+
+import (
+	"fmt"
+
+	"fastbfs/internal/errs"
+	"fastbfs/internal/graph"
+	"fastbfs/internal/stream"
+)
+
+// This file holds the direction-optimizing scaffolding shared by the
+// streaming engines: the direction policy type, the Beamer-style switch
+// heuristic state, the global frontier bitmap bottom-up iterations
+// exchange, and the lazy split of the dataset's reverse-edge file into
+// per-partition streams.
+//
+// The out-of-core formulation (DESIGN.md §12): a top-down iteration
+// scatters the frontier's out-edges into shuffled update files; a
+// bottom-up iteration instead streams each partition's *in-edges* and,
+// for every still-unvisited vertex, looks for a parent in the frontier
+// bitmap — no update files at all. To keep results byte-identical to
+// top-down, the winning parent for a vertex v must be the same one
+// top-down's first-update-wins gather would pick: the minimum over v's
+// in-edges of (source partition, original edge position). The scatter
+// appends update files in source-partition order, each partition's
+// edges in original order, so that pair is exactly top-down's file
+// order; bottom-up reproduces it by scanning the reverse partition
+// (original order preserved by the split) and keeping, per vertex, the
+// candidate with the strictly smallest source partition — first seen
+// wins ties, which is the original-position tie-break.
+
+// Direction is a traversal direction policy.
+type Direction string
+
+// The three direction policies.
+const (
+	DirectionTopDown  Direction = "topdown"
+	DirectionBottomUp Direction = "bottomup"
+	DirectionAuto     Direction = "auto"
+)
+
+// Default switch ratios of the hybrid heuristic, matching the
+// in-memory reference (internal/bfs.DefaultDirectionOpt).
+const (
+	DefaultDirectionAlpha = 14
+	DefaultDirectionBeta  = 24
+)
+
+// ParseDirection parses a direction policy. Empty means topdown (the
+// default); anything else unknown is ErrBadOptions.
+func ParseDirection(s string) (Direction, error) {
+	switch Direction(s) {
+	case "", DirectionTopDown:
+		return DirectionTopDown, nil
+	case DirectionBottomUp:
+		return DirectionBottomUp, nil
+	case DirectionAuto:
+		return DirectionAuto, nil
+	}
+	return "", fmt.Errorf("xstream: unknown direction %q (want topdown, bottomup or auto): %w", s, errs.ErrBadOptions)
+}
+
+// ResolveDirection checks the configured policy against the stored
+// dataset: auto without a reverse-edge file falls back to pure
+// top-down (fellBack reports it — the serving layer keeps answering
+// queries on stale graphs), while an explicit bottomup without one is
+// an error.
+func (rt *Runtime) ResolveDirection() (dir Direction, fellBack bool, err error) {
+	dir = rt.Opts.Direction
+	if dir == "" {
+		dir = DirectionTopDown
+	}
+	if dir == DirectionTopDown || graph.HasReverse(rt.Vol, rt.Meta.Name) {
+		return dir, false, nil
+	}
+	if dir == DirectionBottomUp {
+		return "", false, fmt.Errorf("xstream: direction bottomup needs the reverse-edge file %s (re-store the graph): %w",
+			graph.ReverseFileName(rt.Meta.Name), errs.ErrBadOptions)
+	}
+	return DirectionTopDown, true, nil
+}
+
+// Bitset is a fixed-size bitmap over the vertex space — the frontier
+// representation bottom-up iterations exchange. Like OutDeg, it lives
+// outside the modelled memory budget (vertices/8 bytes).
+type Bitset struct{ w []uint64 }
+
+// NewBitset returns an all-zero bitmap over n vertices.
+func NewBitset(n uint64) *Bitset { return &Bitset{w: make([]uint64, (n+63)/64)} }
+
+// Set marks vertex i.
+func (b *Bitset) Set(i graph.VertexID) { b.w[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether vertex i is marked.
+func (b *Bitset) Get(i graph.VertexID) bool { return b.w[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// Clear zeroes the bitmap for reuse.
+func (b *Bitset) Clear() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
+// DirState is the per-run direction heuristic state. The engines call
+// Decide at the top of every iteration and the Record methods as each
+// pass completes; everything in between is plain bookkeeping, so the
+// decision sequence is deterministic for a given graph and option set —
+// the property the cross-engine equivalence suite rests on.
+//
+// The α test runs one update wave ahead of the work it avoids: a
+// top-down scatter's emitted updates are exactly the candidate set for
+// the next level, and summing OutDeg over their targets (RecordScatter)
+// bounds that level's out-degree before its own scatter ever runs. When
+// α fires, the next iteration gathers the already-written candidate
+// wave (the transition pass) and then goes bottom-up — the peak wave it
+// predicted is never written. Beamer's "frontier growing" guard keeps α
+// from re-firing on the shrinking tail, where the unexplored estimate
+// bottoms out. The β test is exact — a bottom-up pass counts its newly
+// formed frontier and that frontier's out-degree sum as it runs.
+type DirState struct {
+	// Conf is the resolved policy; Mode is the mode Decide last chose.
+	Conf Direction
+	Mode Direction
+
+	// Switches counts mode changes; BottomUpIters counts bottom-up
+	// iterations; SwitchIteration is the first bottom-up iteration (-1
+	// when the run never switched).
+	Switches        int64
+	BottomUpIters   int64
+	SwitchIteration int
+
+	alpha, beta float64
+	vertices    float64
+	unexplored  float64
+	// lastCount is the size of the most recently formed frontier (β's
+	// input). candDeg/candCount describe the last top-down scatter's
+	// emitted update wave — the next level's candidates — and prevCand
+	// the wave before it (α's growth guard).
+	lastCount uint64
+	candDeg   float64
+	candCount int64
+	prevCand  int64
+}
+
+// NewDirState builds the heuristic state for a run under the resolved
+// policy dir.
+func NewDirState(rt *Runtime, dir Direction) *DirState {
+	return &DirState{
+		Conf: dir, Mode: DirectionTopDown, SwitchIteration: -1,
+		alpha: float64(rt.Opts.DirectionAlpha), beta: float64(rt.Opts.DirectionBeta),
+		vertices: float64(rt.Meta.Vertices), unexplored: float64(rt.Meta.Edges),
+	}
+}
+
+// Decide picks iteration iter's mode (true = bottom-up), updating the
+// switch accounting. Iteration 0 is always top-down: the root is
+// planted during its gather-less first pass and bottom-up needs an
+// existing frontier.
+func (ds *DirState) Decide(iter int) bool {
+	bottom := false
+	switch {
+	case iter == 0 || ds.Conf == DirectionTopDown:
+	case ds.Conf == DirectionBottomUp:
+		bottom = true
+	case ds.Mode == DirectionBottomUp:
+		// β: drop back to top-down once the frontier is small.
+		bottom = float64(ds.lastCount) >= ds.vertices/ds.beta
+	default:
+		// α: go bottom-up once the candidate wave's out-edges dominate
+		// the unexplored remainder — and only while the wave is still
+		// growing, so the collapsing tail stays top-down.
+		bottom = ds.candCount > ds.prevCand && ds.candDeg > ds.unexplored/ds.alpha
+	}
+	mode := DirectionTopDown
+	if bottom {
+		mode = DirectionBottomUp
+	}
+	if mode != ds.Mode {
+		ds.Switches++
+	}
+	ds.Mode = mode
+	if bottom {
+		ds.BottomUpIters++
+		if ds.SwitchIteration < 0 {
+			ds.SwitchIteration = iter
+		}
+	}
+	return bottom
+}
+
+// RecordFrontier logs a formed frontier: its vertex count and
+// out-degree sum. formedNow must be false when the frontier was formed
+// (and therefore already recorded) by an earlier iteration — the
+// top-down iteration right after a bottom-up one scatters a frontier
+// the bottom-up pass built, and subtracting its edges twice would drain
+// the unexplored estimate early.
+func (ds *DirState) RecordFrontier(count uint64, degSum float64, formedNow bool) {
+	ds.lastCount = count
+	if formedNow {
+		ds.unexplored -= degSum
+		if ds.unexplored < 0 {
+			ds.unexplored = 0
+		}
+	}
+}
+
+// RecordScatter logs a top-down scatter's emitted update wave: how many
+// updates it wrote and the out-degree sum over their target vertices
+// (α's look-ahead input).
+func (ds *DirState) RecordScatter(emitted int64, candDeg float64) {
+	ds.prevCand = ds.candCount
+	ds.candCount = emitted
+	ds.candDeg = candDeg
+}
+
+// RevEdgeFile is partition p's reverse-edge (in-edge) stream: every
+// dataset edge u→v with v in partition p, stored as v→u in original
+// edge order, in the checksummed framed format.
+func (rt *Runtime) RevEdgeFile(p int) string {
+	return fmt.Sprintf("%s_redge_%d", rt.Opts.FilePrefix, p)
+}
+
+// EnsureReverse lazily splits the dataset's reverse-edge file into
+// per-partition streams — the bottom-up analogue of Prepare, routed by
+// the in-edge's destination-side vertex. It is called at the first
+// top-down→bottom-up transition, never eagerly, so an auto run that
+// stays top-down moves exactly the top-down byte count. In-edges of
+// vertices already visited at split time (VisitedBits) are dropped:
+// those vertices can never be a bottom-up candidate again, and the
+// filter is what makes each bottom-up pass read fewer bytes than a
+// full edge scan. The split preserves the original edge order inside
+// each partition (the byte-identity tie-break) and re-frames each
+// stream, so corruption in any reverse partition later surfaces as
+// errs.ErrCorrupted.
+func (rt *Runtime) EnsureReverse() error {
+	if rt.revReady {
+		return nil
+	}
+	tm := rt.MainTiming()
+	sc, err := stream.NewEdgeScanner(rt.Vol, graph.ReverseFileName(rt.Meta.Name), tm, rt.Opts.StreamBufSize)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	outs := make([]*stream.Writer[graph.Edge], rt.Parts.P())
+	for p := range outs {
+		w, err := stream.NewFramedEdgeWriter(rt.Vol, rt.RevEdgeFile(p), tm, rt.Opts.StreamBufSize)
+		if err != nil {
+			for _, o := range outs[:p] {
+				o.Abort()
+			}
+			return err
+		}
+		w.SetAsync() // write-behind; readers barrier through AwaitFile
+		outs[p] = w
+	}
+	abort := func() {
+		for _, o := range outs {
+			o.Abort()
+		}
+	}
+	var total uint64
+	for {
+		r, ok, err := sc.Next()
+		if err != nil {
+			abort()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := rt.Meta.CheckEdge(r); err != nil {
+			abort()
+			return fmt.Errorf("%w: reverse-edge file %s: %w", errs.ErrCorrupted, graph.ReverseFileName(rt.Meta.Name), err)
+		}
+		total++
+		if rt.VisitedBits != nil && rt.VisitedBits.Get(r.Src) {
+			continue // target already has a parent — dead in-edge
+		}
+		if err := outs[rt.Parts.Of(r.Src)].Append(r); err != nil {
+			abort()
+			return err
+		}
+	}
+	if total != rt.Meta.Edges {
+		abort()
+		return fmt.Errorf("%w: reverse-edge file %s has %d edges, config says %d",
+			errs.ErrCorrupted, graph.ReverseFileName(rt.Meta.Name), total, rt.Meta.Edges)
+	}
+	rt.Compute(float64(total) * rt.Costs.ScatterPerEdge)
+	for p, o := range outs {
+		if err := o.Close(); err != nil {
+			return err
+		}
+		rt.BytesWritten += o.BytesWritten()
+		rt.RegisterReady(rt.RevEdgeFile(p), o.LastOp())
+	}
+	rt.BytesRead += sc.BytesRead()
+	rt.revReady = true
+	return nil
+}

@@ -154,6 +154,25 @@ type Options struct {
 	// stream.DefaultRetryAttempts; chaos runs with high injected fault
 	// rates raise it so exhaustion stays improbable.
 	RetryAttempts int
+	// Direction selects the traversal direction policy for the streaming
+	// engines: pure top-down (the default), pure bottom-up after the
+	// root iteration, or the Beamer-style automatic hybrid (see
+	// internal/bfs/directionopt.go for the in-memory reference). Bottom-up
+	// iterations stream the reverse-edge partitions split from the
+	// dataset's .rev file; `auto` on a graph stored without one falls
+	// back to pure top-down (counted, never an error), while an explicit
+	// `bottomup` on such a graph is ErrBadOptions. Empty takes the
+	// FASTBFS_DIRECTION environment variable, else topdown. The
+	// in-memory fast path ignores the direction (it has no device
+	// traffic to save).
+	Direction Direction
+	// DirectionAlpha and DirectionBeta are the hybrid heuristic's switch
+	// ratios (Beamer's α and β): switch to bottom-up when the frontier's
+	// emitted-edge count exceeds unexplored/α, back to top-down when the
+	// frontier shrinks below vertices/β. Defaults 14 and 24, matching
+	// the in-memory reference.
+	DirectionAlpha int
+	DirectionBeta  int
 }
 
 // SetDefaults fills unset fields with defaults.
@@ -188,6 +207,22 @@ func (o *Options) SetDefaults(engineName string) {
 	}
 	if o.FilePrefix == "" {
 		o.FilePrefix = engineName
+	}
+	if o.Direction == "" {
+		if s := os.Getenv("FASTBFS_DIRECTION"); s != "" {
+			if d, err := ParseDirection(s); err == nil {
+				o.Direction = d
+			}
+		}
+	}
+	if o.Direction == "" {
+		o.Direction = DirectionTopDown
+	}
+	if o.DirectionAlpha <= 0 {
+		o.DirectionAlpha = DefaultDirectionAlpha
+	}
+	if o.DirectionBeta <= 0 {
+		o.DirectionBeta = DefaultDirectionBeta
 	}
 }
 
@@ -237,6 +272,30 @@ type Runtime struct {
 	// no simulated device to report on.
 	countVol *storage.Counting
 	startIO  storage.IOStats
+
+	// OutDeg is the per-vertex out-degree table, built during Prepare
+	// when the run may go bottom-up (Direction != topdown). Bottom-up
+	// iterations use it to compute the newly-formed frontier's
+	// out-degree sum for the switch-back heuristic. Like the frontier
+	// bitmaps, its 4 bytes/vertex live outside the modelled memory
+	// budget (the paper's budget covers partition state, not global
+	// scalars).
+	OutDeg []uint32
+
+	// VisitedBits mirrors the vertex files' visited state in RAM
+	// (vertices/8 bytes, outside the modelled budget like OutDeg),
+	// maintained only when the run may go bottom-up. The lazy
+	// reverse-edge split consults it to drop in-edges of vertices that
+	// are already visited at split time — they can never yield a
+	// bottom-up candidate, and dropping them is what makes bottom-up
+	// iterations read fewer bytes than a full edge scan.
+	VisitedBits *Bitset
+
+	// revReady flags that PrepareReverse has split the dataset's
+	// reverse-edge file into per-partition streams; the split is lazy —
+	// paid only at the first top-down→bottom-up transition, so an auto
+	// run that never switches moves exactly the top-down byte count.
+	revReady bool
 }
 
 // Tracer returns the run's tracer (nil when tracing is disabled; all
@@ -324,6 +383,9 @@ func NewRuntimeContext(ctx context.Context, vol storage.Volume, graphName string
 	}
 	if uint64(opts.Root) >= m.Vertices {
 		return nil, fmt.Errorf("xstream: root %d outside vertex space [0,%d): %w", opts.Root, m.Vertices, errs.ErrBadOptions)
+	}
+	if _, err := ParseDirection(string(opts.Direction)); err != nil {
+		return nil, err
 	}
 	p := opts.Partitions
 	if p <= 0 {
@@ -513,6 +575,10 @@ func (rt *Runtime) Prepare() ([]int64, error) {
 		return nil, err
 	}
 	defer sc.Close()
+	if rt.Opts.Direction != DirectionTopDown {
+		rt.OutDeg = make([]uint32, rt.Meta.Vertices)
+		rt.VisitedBits = NewBitset(rt.Meta.Vertices)
+	}
 	outs := make([]*stream.Writer[graph.Edge], rt.Parts.P())
 	for p := range outs {
 		w, err := stream.NewEdgeWriter(rt.Vol, rt.EdgeFile(p), tm, rt.Opts.StreamBufSize)
@@ -535,6 +601,9 @@ func (rt *Runtime) Prepare() ([]int64, error) {
 		}
 		if err := rt.Meta.CheckEdge(e); err != nil {
 			return nil, err
+		}
+		if rt.OutDeg != nil {
+			rt.OutDeg[e.Src]++
 		}
 		if err := outs[rt.Parts.Of(e.Src)].Append(e); err != nil {
 			return nil, err
@@ -666,6 +735,9 @@ func (rt *Runtime) MarkRoot(v *Verts) bool {
 	}
 	v.Level[root-lo] = 0
 	v.Parent[root-lo] = root
+	if rt.VisitedBits != nil {
+		rt.VisitedBits.Set(root)
+	}
 	return true
 }
 
