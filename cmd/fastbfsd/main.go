@@ -9,8 +9,19 @@
 //	         [-mem 1073741824] [-threads 4] [-workers N]
 //	         [-sim] [-simscale 2048] [-residency-budget 64M]
 //	         [-max-inflight 4] [-max-queue 8] [-cache 64]
+//	         [-batch-size 32] [-batch-wait 2ms] [-config run.conf]
 //	         [-drain-timeout 30s] [-debugaddr localhost:6060]
 //	         [-tracefile serve.jsonl] [-slow-query 500ms]
+//
+// Cross-query batching (DESIGN.md §13) is on by default: concurrent
+// uncapped BFS queries coalesce into shared bit-parallel runs of up to
+// -batch-size distinct roots, held at most -batch-wait for companions.
+// -batch-size 0 disables it. The flags default from the
+// FASTBFS_BATCH_SIZE and FASTBFS_BATCH_WAIT environment variables when
+// set. -config loads a runtime-settings file (internal/runconfig) in
+// place of the engine flags (-mem, -threads, -workers, -sim, -simscale,
+// -ssd, -residency-budget); its batch_size/batch_wait_ms keys supply
+// batch defaults that explicit -batch-size/-batch-wait flags override.
 //
 // Endpoints:
 //
@@ -48,17 +59,41 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"fastbfs/internal/algo"
 	"fastbfs/internal/core"
 	"fastbfs/internal/disksim"
 	"fastbfs/internal/errs"
 	"fastbfs/internal/obs"
+	"fastbfs/internal/runconfig"
 	"fastbfs/internal/serve"
 	"fastbfs/internal/storage"
 	"fastbfs/internal/xstream"
 )
+
+// envInt and envDuration supply flag defaults from the environment, so
+// deployments can set FASTBFS_BATCH_SIZE / FASTBFS_BATCH_WAIT without
+// editing unit files; a malformed value falls back to the built-in.
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func envDuration(name string, def time.Duration) time.Duration {
+	if v := os.Getenv(name); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return def
+}
 
 func main() {
 	addr := flag.String("addr", "localhost:8090", "address to serve the query API on")
@@ -74,6 +109,11 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 4, "queries executing concurrently")
 	maxQueue := flag.Int("max-queue", 0, "queries allowed to wait for a slot (0 = 2*max-inflight; negative = reject immediately when busy)")
 	cacheEntries := flag.Int("cache", 64, "result-cache entries (negative disables)")
+	batchSize := flag.Int("batch-size", envInt("FASTBFS_BATCH_SIZE", algo.MaxBatchRoots),
+		"distinct roots coalesced per shared BFS run (0 disables batching; max 32)")
+	batchWait := flag.Duration("batch-wait", envDuration("FASTBFS_BATCH_WAIT", 2*time.Millisecond),
+		"how long a forming batch waits for companion queries")
+	configPath := flag.String("config", "", "runtime-settings file supplying the engine options (replaces -mem/-threads/-workers/-sim/-simscale/-ssd/-residency-budget)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	debugAddr := flag.String("debugaddr", "", "serve pprof, expvar counters and a stats page on this address")
 	traceFile := flag.String("tracefile", "", "append JSONL trace events (serve_query spans, drain telemetry) to this file")
@@ -110,6 +150,28 @@ func main() {
 		}
 		base.Base.Sim = cfg
 	}
+	if *configPath != "" {
+		// The settings file replaces the engine-option flags wholesale;
+		// its batch keys are defaults that explicit flags still override.
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fail(err)
+		}
+		rc, err := runconfig.Parse(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		base = rc.CoreOptions()
+		setFlags := map[string]bool{}
+		flag.Visit(func(fl *flag.Flag) { setFlags[fl.Name] = true })
+		if !setFlags["batch-size"] && rc.BatchSize >= 0 {
+			*batchSize = rc.BatchSize
+		}
+		if !setFlags["batch-wait"] && rc.BatchWaitMillis > 0 {
+			*batchWait = time.Duration(rc.BatchWaitMillis) * time.Millisecond
+		}
+	}
 
 	var sinks []obs.Sink
 	if *traceFile != "" {
@@ -125,6 +187,8 @@ func main() {
 		MaxInFlight:  *maxInFlight,
 		MaxQueue:     *maxQueue,
 		CacheEntries: *cacheEntries,
+		BatchSize:    *batchSize,
+		BatchWait:    *batchWait,
 		Base:         base,
 		Tracer:       tr,
 	}
@@ -229,6 +293,13 @@ func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
 		fmt.Fprintf(w, "%-22s %d\n", "io_retries", st.IORetries)
 		fmt.Fprintf(w, "%-22s %d\n", "io_failures", st.IOFailures)
 		fmt.Fprintf(w, "%-22s %d\n", "slow_queries", st.SlowQueries)
+		fmt.Fprintf(w, "%-22s %d\n", "batch_queries", st.BatchQueries)
+		fmt.Fprintf(w, "%-22s %d\n", "batch_runs", st.BatchRuns)
+		fmt.Fprintf(w, "%-22s %d\n", "batch_coalesced", st.BatchCoalesced)
+		fmt.Fprintf(w, "%-22s %d\n", "batch_solo", st.BatchSolo)
+		fmt.Fprintf(w, "%-22s %d\n", "batch_evicted", st.BatchEvicted)
+		fmt.Fprintf(w, "%-22s %d\n", "device_bytes", st.DeviceBytes)
+		fmt.Fprintf(w, "%-22s %d\n", "batch_bytes_saved", st.BatchBytesSaved)
 		fmt.Fprintf(w, "%-22s %.1f\n", "uptime_s", svc.Uptime().Seconds())
 		tel := svc.Telemetry()
 		if len(tel.Histograms) > 0 {

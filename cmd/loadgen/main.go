@@ -1,12 +1,12 @@
 // Command loadgen drives an open-loop query load against a running
 // fastbfsd and reports QPS and client-side latency percentiles per
 // traffic mix, writing a machine-readable bench document
-// (fastbfs/bench-serve/v1) for the repo's perf trajectory.
+// (fastbfs/bench-serve/v2) for the repo's perf trajectory.
 //
 // Usage:
 //
 //	loadgen -addr http://localhost:8090 [-qps 200] [-duration 10s]
-//	        [-mix bfs-hot,bfs-cold,mixed] [-seed 1] [-out BENCH_serve_v1.json]
+//	        [-mix bfs-hot,bfs-cold,mixed] [-seed 1] [-out BENCH_serve_v2.json]
 //	        [-timeout 30s] [-max-outstanding 256]
 //	        [-min-qps 0] [-check-metrics]
 //
@@ -49,19 +49,19 @@ func main() {
 	defer stop()
 	client := &http.Client{Timeout: *timeout}
 
-	graphName, vertices, edges, goVersion, err := loadgen.Discover(ctx, client, *addr)
+	h, err := loadgen.Discover(ctx, client, *addr)
 	if err != nil {
 		fail(err)
 	}
 	bench := loadgen.Bench{
 		Schema:   loadgen.Schema,
-		Graph:    graphName,
-		Vertices: vertices,
-		Edges:    edges,
-		Server:   goVersion,
+		Graph:    h.Graph,
+		Vertices: h.Vertices,
+		Edges:    h.Edges,
+		Server:   h.GoVersion,
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: target %s serving %s (%d vertices, %d edges)\n",
-		*addr, graphName, vertices, edges)
+	fmt.Fprintf(os.Stderr, "loadgen: target %s serving %s (%d vertices, %d edges, batch_size=%d batch_wait=%gms)\n",
+		*addr, h.Graph, h.Vertices, h.Edges, h.BatchSize, h.BatchWaitMs)
 
 	belowFloor := false
 	for _, name := range strings.Split(*mixes, ",") {
@@ -92,6 +92,12 @@ func main() {
 			res.Outcomes["ok"], res.Outcomes["busy"], completedOther(res),
 			res.Latency.P50*1e3, res.Latency.P90*1e3, res.Latency.P99*1e3,
 			res.CacheHits, res.Dropped)
+		if sv := res.Server; sv != nil {
+			fmt.Fprintf(os.Stderr,
+				"loadgen: %-8s server: completed=%d batch_queries=%d batch_runs=%d coalesced=%d solo=%d device_bytes/query=%.0f bytes_saved=%d\n",
+				mix.Name, sv.Completed, sv.BatchQueries, sv.BatchRuns, sv.BatchCoalesced,
+				sv.BatchSolo, sv.DeviceBytesPerQuery, sv.BatchBytesSaved)
+		}
 		if *minQPS > 0 && res.AchievedQPS < *minQPS {
 			fmt.Fprintf(os.Stderr, "loadgen: mix %s achieved %.1f qps, below the -min-qps floor %g\n",
 				mix.Name, res.AchievedQPS, *minQPS)

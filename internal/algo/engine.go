@@ -50,6 +50,16 @@ type Program interface {
 	Converged(iter int, changes uint64, emitted int64) bool
 }
 
+// DstApplier is an optional Program extension for programs that need
+// the destination vertex when folding an update — BatchBFS records
+// per-root parent trees in side arrays indexed by the vertex, which
+// the packed 8-byte value cannot carry. When a Program implements it,
+// the gather pass calls ApplyTo instead of Apply, with the same
+// deterministic update order and value/changed contract.
+type DstApplier interface {
+	ApplyTo(iter int, dst graph.VertexID, val uint64, payload uint64) (uint64, bool)
+}
+
 // update is the on-disk update record: destination plus payload.
 const updateRecBytes = 12
 
@@ -95,6 +105,13 @@ func RunContext(ctx context.Context, vol storage.Volume, graphName string, prog 
 	defer rt.Cleanup()
 
 	run := metrics.Run{Engine: prog.Name()}
+
+	applyTo := func(iter int, dst graph.VertexID, val, payload uint64) (uint64, bool) {
+		return prog.Apply(iter, val, payload)
+	}
+	if da, ok := prog.(DstApplier); ok {
+		applyTo = da.ApplyTo
+	}
 
 	P := rt.Parts.P()
 	vertexFile := func(p int) string { return fmt.Sprintf("%s_val_%d", rt.Opts.FilePrefix, p) }
@@ -286,7 +303,7 @@ func RunContext(ctx context.Context, vol storage.Volume, graphName string, prog 
 				}
 				applied++
 				i := int(u.dst - lo)
-				nv, _ := prog.Apply(iter, vals[i], u.payload)
+				nv, _ := applyTo(iter, u.dst, vals[i], u.payload)
 				vals[i] = nv
 			}
 			rt.BytesRead += sc.BytesRead()

@@ -46,4 +46,11 @@ var (
 	// bounded retries (or was permanent to begin with) and could not be
 	// degraded around. The wrapped cause is the last underlying error.
 	ErrIOFailed = errors.New("i/o failed after retries")
+
+	// ErrBatchAbandoned is the cancellation cause the serving layer's
+	// batcher attaches when every member of a coalesced batch left
+	// (cancelled or timed out) before the shared run finished, so the
+	// run itself was stopped. Individual queries never see it directly:
+	// each reports its own ErrCancelled with its own context's cause.
+	ErrBatchAbandoned = errors.New("batch abandoned")
 )

@@ -35,8 +35,9 @@ import (
 	"fastbfs/internal/obs"
 )
 
-// Schema identifies the bench JSON this package writes.
-const Schema = "fastbfs/bench-serve/v1"
+// Schema identifies the bench JSON this package writes. v2 added the
+// server-side counter deltas (Result.Server) and the bfs-distinct mix.
+const Schema = "fastbfs/bench-serve/v2"
 
 // Mix describes one traffic shape: the algorithm blend and how root
 // keys are drawn, which is what decides the cache-hit rate.
@@ -55,6 +56,11 @@ type Mix struct {
 	// NoCache forces every query to bypass the result cache: a pure
 	// engine-throughput mix.
 	NoCache bool `json:"no_cache"`
+	// Distinct draws every root from a deterministic non-repeating walk
+	// of the vertex space instead of randomly: no root repeats within a
+	// run, so the result cache absorbs nothing and cross-query batching
+	// (not caching) is what's measured.
+	Distinct bool `json:"distinct,omitempty"`
 	// Engine pins the executing engine ("" = server default).
 	Engine string `json:"engine,omitempty"`
 }
@@ -64,6 +70,10 @@ type Mix struct {
 var Mixes = []Mix{
 	{Name: "bfs-hot", BFS: 1, HotFraction: 1.0, HotSetSize: 8},
 	{Name: "bfs-cold", BFS: 1, NoCache: true},
+	// bfs-distinct is the batching benchmark: all-BFS, every root
+	// distinct, cache enabled but useless — throughput gains can only
+	// come from coalescing concurrent queries into shared runs.
+	{Name: "bfs-distinct", BFS: 1, Distinct: true},
 	{Name: "mixed", BFS: 3, MSBFS: 1, SSSP: 1, HotFraction: 0.5, HotSetSize: 16},
 }
 
@@ -135,9 +145,55 @@ type Result struct {
 	// Latency aggregates ok responses only; errors are cheap and would
 	// flatter the percentiles.
 	Latency Percentiles `json:"latency_s"`
+	// Server carries the server-side counter deltas over the run,
+	// scraped from /healthz before and after — how many engine runs the
+	// queries cost and how many device bytes moved, which client-side
+	// timing alone cannot see.
+	Server *ServerDelta `json:"server,omitempty"`
 }
 
-// Bench is the BENCH_serve_v1.json document: one run of several mixes
+// ServerStats is the subset of the serve-layer Stats block that the
+// generator tracks across a run (decoded from /healthz "stats").
+type ServerStats struct {
+	Completed       int64 `json:"completed"`
+	CacheHits       int64 `json:"cache_hits"`
+	BatchQueries    int64 `json:"batch_queries"`
+	BatchRuns       int64 `json:"batch_runs"`
+	BatchCoalesced  int64 `json:"batch_coalesced"`
+	BatchSolo       int64 `json:"batch_solo"`
+	BatchEvicted    int64 `json:"batch_evicted"`
+	BatchBytesSaved int64 `json:"batch_bytes_saved"`
+	DeviceBytes     int64 `json:"device_bytes"`
+}
+
+// ServerDelta is the change in ServerStats across one mix's run, plus
+// the batching configuration the server reported, so a bench document
+// records which mode produced which cost.
+type ServerDelta struct {
+	BatchSize   int     `json:"batch_size"`
+	BatchWaitMs float64 `json:"batch_wait_ms"`
+	ServerStats
+	// DeviceBytesPerQuery = DeviceBytes / Completed for this run — the
+	// figure of merit for batching: coalesced queries amortize one
+	// run's device traffic across every member.
+	DeviceBytesPerQuery float64 `json:"device_bytes_per_query"`
+}
+
+func delta(before, after ServerStats) ServerStats {
+	return ServerStats{
+		Completed:       after.Completed - before.Completed,
+		CacheHits:       after.CacheHits - before.CacheHits,
+		BatchQueries:    after.BatchQueries - before.BatchQueries,
+		BatchRuns:       after.BatchRuns - before.BatchRuns,
+		BatchCoalesced:  after.BatchCoalesced - before.BatchCoalesced,
+		BatchSolo:       after.BatchSolo - before.BatchSolo,
+		BatchEvicted:    after.BatchEvicted - before.BatchEvicted,
+		BatchBytesSaved: after.BatchBytesSaved - before.BatchBytesSaved,
+		DeviceBytes:     after.DeviceBytes - before.DeviceBytes,
+	}
+}
+
+// Bench is the BENCH_serve_v2.json document: one run of several mixes
 // against one daemon.
 type Bench struct {
 	Schema   string   `json:"schema"`
@@ -148,36 +204,43 @@ type Bench struct {
 	Results  []Result `json:"results"`
 }
 
-// health mirrors the fields of GET /healthz that the generator needs.
-type health struct {
-	Status    string  `json:"status"`
-	Graph     string  `json:"graph"`
-	Vertices  uint64  `json:"vertices"`
-	Edges     uint64  `json:"edges"`
-	GoVersion string  `json:"go_version"`
-	UptimeS   float64 `json:"uptime_s"`
+// Health mirrors the fields of GET /healthz that the generator needs:
+// graph identity for stamping the bench document, the batching
+// configuration for labeling the server's mode, and the Stats counter
+// block for before/after deltas.
+type Health struct {
+	Status      string      `json:"status"`
+	Graph       string      `json:"graph"`
+	Vertices    uint64      `json:"vertices"`
+	Edges       uint64      `json:"edges"`
+	GoVersion   string      `json:"go_version"`
+	UptimeS     float64     `json:"uptime_s"`
+	BatchSize   int         `json:"batch_size"`
+	BatchWaitMs float64     `json:"batch_wait_ms"`
+	Stats       ServerStats `json:"stats"`
 }
 
 // Discover queries /healthz for the graph being served; Run calls it
-// implicitly, cmd/loadgen uses it to stamp the bench document.
-func Discover(ctx context.Context, client *http.Client, addr string) (graphName string, vertices, edges uint64, goVersion string, err error) {
+// to size the root space and to scrape counters, cmd/loadgen uses it
+// to stamp the bench document.
+func Discover(ctx context.Context, client *http.Client, addr string) (Health, error) {
 	req, err := http.NewRequestWithContext(ctx, "GET", addr+"/healthz", nil)
 	if err != nil {
-		return "", 0, 0, "", err
+		return Health{}, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return "", 0, 0, "", fmt.Errorf("loadgen: healthz: %w", err)
+		return Health{}, fmt.Errorf("loadgen: healthz: %w", err)
 	}
 	defer resp.Body.Close()
-	var h health
+	var h Health
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return "", 0, 0, "", fmt.Errorf("loadgen: healthz decode: %w", err)
+		return Health{}, fmt.Errorf("loadgen: healthz decode: %w", err)
 	}
 	if h.Vertices == 0 {
-		return "", 0, 0, "", fmt.Errorf("loadgen: healthz reports an empty graph")
+		return Health{}, fmt.Errorf("loadgen: healthz reports an empty graph")
 	}
-	return h.Graph, h.Vertices, h.Edges, h.GoVersion, nil
+	return h, nil
 }
 
 // query is the request body sent to POST /query (mirrors serve's
@@ -190,10 +253,27 @@ type query struct {
 	NoCache   bool     `json:"no_cache,omitempty"`
 }
 
+// distinctStride picks the step of the Distinct root walk: Knuth's
+// multiplicative constant when it is coprime to the vertex count (it
+// always is for the power-of-two vertex counts RMAT graphs have, being
+// odd), else 1. Either way the walk is a permutation of the vertex
+// space — no root repeats until every vertex has been used once.
+func distinctStride(vertices uint64) uint64 {
+	const knuth = 2654435761
+	a, b := knuth%vertices, vertices
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 1 {
+		return knuth % vertices
+	}
+	return 1
+}
+
 // nextQuery draws one query from the mix. It runs on the arrival
-// goroutine only, so the rng needs no locking and the stream is
-// reproducible from the seed.
-func nextQuery(rng *rand.Rand, mix Mix, vertices uint64) query {
+// goroutine only, so the rng and the Distinct sequence counter need no
+// locking and the stream is reproducible from the seed.
+func nextQuery(rng *rand.Rand, mix Mix, vertices uint64, seq *uint64) query {
 	total := mix.BFS + mix.MSBFS + mix.SSSP
 	if total <= 0 {
 		total, mix.BFS = 1, 1
@@ -208,6 +288,11 @@ func nextQuery(rng *rand.Rand, mix Mix, vertices uint64) query {
 		algo = "sssp"
 	}
 	root := func() uint32 {
+		if mix.Distinct {
+			r := (*seq * distinctStride(vertices)) % vertices
+			*seq++
+			return uint32(r)
+		}
 		hot := mix.HotSetSize
 		if hot <= 0 {
 			hot = 8
@@ -266,10 +351,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if client == nil {
 		client = &http.Client{Timeout: cfg.Timeout}
 	}
-	_, vertices, _, _, err := Discover(ctx, client, cfg.Addr)
+	before, err := Discover(ctx, client, cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
+	vertices := before.Vertices
 
 	res := &Result{
 		Mix:       cfg.Mix,
@@ -322,8 +408,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		record(classify(resp.StatusCode), time.Since(start), hr.Cached)
 	}
 
-	// The arrival loop: one goroutine owns the rng and the clock.
+	// The arrival loop: one goroutine owns the rng, the Distinct
+	// sequence counter, and the clock.
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	var seq uint64
 	interval := time.Duration(float64(time.Second) / cfg.QPS)
 	if interval <= 0 {
 		interval = time.Nanosecond
@@ -341,7 +429,7 @@ arrivals:
 			break arrivals
 		case <-tick.C:
 			res.Offered++
-			q := nextQuery(rng, cfg.Mix, vertices)
+			q := nextQuery(rng, cfg.Mix, vertices, &seq)
 			if outstanding.Load() >= int64(cfg.MaxOutstanding) {
 				res.Dropped++
 				continue
@@ -370,6 +458,20 @@ arrivals:
 	}
 	if s.Count > 0 {
 		res.Latency.Mean = s.Sum.Seconds() / float64(s.Count)
+	}
+	// Scrape the server counters again and attach the delta. A failed
+	// scrape (server shut down between runs, test stub without stats)
+	// degrades to a client-only result rather than failing the run.
+	if after, err := Discover(ctx, client, cfg.Addr); err == nil {
+		d := ServerDelta{
+			BatchSize:   after.BatchSize,
+			BatchWaitMs: after.BatchWaitMs,
+			ServerStats: delta(before.Stats, after.Stats),
+		}
+		if d.Completed > 0 {
+			d.DeviceBytesPerQuery = float64(d.DeviceBytes) / float64(d.Completed)
+		}
+		res.Server = &d
 	}
 	return res, nil
 }

@@ -42,7 +42,7 @@ func testServer(t *testing.T) (*httptest.Server, graph.Meta) {
 }
 
 func TestParseMix(t *testing.T) {
-	for _, name := range []string{"bfs-hot", "bfs-cold", "mixed"} {
+	for _, name := range []string{"bfs-hot", "bfs-cold", "bfs-distinct", "mixed"} {
 		m, err := loadgen.ParseMix(name)
 		if err != nil || m.Name != name {
 			t.Fatalf("ParseMix(%q) = %+v, %v", name, m, err)
@@ -124,12 +124,75 @@ func TestRunAgainstLiveService(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != "fastbfs/bench-serve/v1" || len(back.Results) != 2 {
+	if back.Schema != "fastbfs/bench-serve/v2" || len(back.Results) != 2 {
 		t.Fatalf("bench round-trip: %+v", back)
 	}
 	// WriteBench sorts by mix name for diff stability.
 	if back.Results[0].Mix.Name != "bfs-cold" || back.Results[1].Mix.Name != "bfs-hot" {
 		t.Fatalf("bench results not sorted: %s, %s", back.Results[0].Mix.Name, back.Results[1].Mix.Name)
+	}
+}
+
+// TestDistinctMixAgainstBatchingServer drives the bfs-distinct mix at a
+// daemon with batching enabled: every root is distinct so the cache
+// absorbs nothing, concurrent arrivals coalesce into shared runs, and
+// the server-side delta section records it.
+func TestDistinctMixAgainstBatchingServer(t *testing.T) {
+	vol := storage.NewMem()
+	m, edges, err := gen.RMAT(8, 8, gen.Graph500(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Store(vol, m, edges); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serve.New(vol, m.Name, serve.Config{
+		Base:      core.Options{Base: xstream.Options{MemoryBudget: 4096, StreamBufSize: 256, Sim: xstream.DefaultSim()}},
+		BatchSize: 8,
+		BatchWait: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { svc.Close() })
+
+	mix, _ := loadgen.ParseMix("bfs-distinct")
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr: ts.URL, QPS: 400, Duration: 500 * time.Millisecond, Mix: mix, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes["ok"] == 0 {
+		t.Fatalf("no successful queries: %+v", res.Outcomes)
+	}
+	// Distinct roots must never repeat, so never hit the cache.
+	if res.CacheHits != 0 {
+		t.Fatalf("bfs-distinct hit the cache %d times", res.CacheHits)
+	}
+	sv := res.Server
+	if sv == nil {
+		t.Fatal("no server-side delta recorded")
+	}
+	if sv.BatchSize != 8 || sv.BatchWaitMs != 2 {
+		t.Fatalf("server batch config not captured: %+v", sv)
+	}
+	if sv.Completed == 0 || sv.BatchQueries == 0 {
+		t.Fatalf("batching server delta shows no batched queries: %+v", sv)
+	}
+	if sv.DeviceBytes <= 0 || sv.DeviceBytesPerQuery <= 0 {
+		t.Fatalf("no device bytes accounted: %+v", sv)
+	}
+	// Shared runs mean strictly fewer runs than queries once anything
+	// coalesced; at 400 qps against a millisecond-scale sim the hold
+	// window must coalesce at least once.
+	if sv.BatchCoalesced == 0 {
+		t.Fatalf("no queries coalesced at 400 qps: %+v", sv)
+	}
+	if sv.BatchRuns >= sv.BatchQueries {
+		t.Fatalf("batching saved no runs: %d runs for %d queries", sv.BatchRuns, sv.BatchQueries)
 	}
 }
 

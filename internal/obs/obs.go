@@ -521,6 +521,19 @@ const (
 	CtrServeSlow        = "serve_slow_queries" // queries past the slow-query threshold
 )
 
+// Counter names for the service's cross-query batcher (DESIGN.md §13),
+// which coalesces concurrent single-source BFS queries into shared
+// bit-parallel multi-source runs.
+const (
+	CtrServeBatchQueries    = "serve_batch_queries"     // queries answered through the batcher
+	CtrServeBatchRuns       = "serve_batch_runs"        // shared engine runs the batcher executed
+	CtrServeBatchCoalesced  = "serve_batch_coalesced"   // batched queries that shared a run with others
+	CtrServeBatchSolo       = "serve_batch_solo"        // batched queries whose window closed with only them
+	CtrServeBatchEvicted    = "serve_batch_evicted"     // queries that left a batch before its run resolved
+	CtrServeDeviceBytes     = "serve_device_bytes"      // device bytes moved by completed query runs
+	CtrServeBatchBytesSaved = "serve_batch_bytes_saved" // estimated device bytes batching avoided
+)
+
 // Histogram names maintained by the query service, all partitioned by
 // {algo, engine, outcome} labels and exposed in Prometheus text format
 // on the daemon's GET /metrics.
@@ -534,6 +547,10 @@ const (
 	// HistServeE2E is end-to-end Submit latency, recorded for every
 	// query including cache hits and rejections.
 	HistServeE2E = "serve_e2e_seconds"
+	// HistServeBatchSize is the distribution of executed batch sizes
+	// (deduplicated roots per shared run). Histograms observe
+	// time.Duration, so a batch of B roots is recorded as B seconds.
+	HistServeBatchSize = "serve_batch_size"
 )
 
 // EngineCounters bundles the standard live counters an engine maintains.

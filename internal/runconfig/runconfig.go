@@ -68,11 +68,20 @@ type Config struct {
 	// StayDiskBandwidthFrac, when > 0, adds a dedicated stay disk with
 	// the main device's bandwidth multiplied by this fraction.
 	StayDiskBandwidthFrac float64
+
+	// Serving-layer batch execution (DESIGN.md §13); these only matter
+	// to the daemon, engine runs ignore them. BatchSize -1 means "not
+	// specified" (the daemon's flag/env default applies); 0 disables
+	// batching; positive values cap the distinct roots per shared run.
+	BatchSize int
+	// BatchWaitMillis is the batch hold window in milliseconds; 0 means
+	// not specified.
+	BatchWaitMillis int
 }
 
 // Default returns the configuration used when a key is absent.
 func Default() Config {
-	return Config{Engine: "fastbfs", Device: "hdd", SeekScale: 1}
+	return Config{Engine: "fastbfs", Device: "hdd", SeekScale: 1, BatchSize: -1}
 }
 
 // Parse reads a runtime-settings file. Unknown keys are rejected —
@@ -161,6 +170,10 @@ func (c *Config) set(key, val string) error {
 		c.AdditionalDisk, err = strconv.ParseBool(val)
 	case "stay_disk_bandwidth_frac":
 		c.StayDiskBandwidthFrac, err = strconv.ParseFloat(val, 64)
+	case "batch_size":
+		c.BatchSize, err = strconv.Atoi(val)
+	case "batch_wait_ms":
+		c.BatchWaitMillis, err = strconv.Atoi(val)
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -209,6 +222,12 @@ func (c Config) Validate() error {
 	}
 	if c.StayDiskBandwidthFrac < 0 {
 		return fmt.Errorf("runconfig: stay_disk_bandwidth_frac must be non-negative")
+	}
+	if c.BatchSize < -1 {
+		return fmt.Errorf("runconfig: batch_size must be -1 (unset), 0 (off) or positive, got %d", c.BatchSize)
+	}
+	if c.BatchWaitMillis < 0 {
+		return fmt.Errorf("runconfig: batch_wait_ms must be non-negative, got %d", c.BatchWaitMillis)
 	}
 	return nil
 }

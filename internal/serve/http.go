@@ -38,6 +38,7 @@ type httpResult struct {
 	TraceID   string   `json:"trace_id"`
 	Visited   uint64   `json:"visited"`
 	Cached    bool     `json:"cached"`
+	Batched   bool     `json:"batched,omitempty"`
 	ExecTime  float64  `json:"exec_time,omitempty"`
 	Levels    []uint32 `json:"levels,omitempty"`
 	Parents   []uint32 `json:"parents,omitempty"`
@@ -167,6 +168,7 @@ func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
 		TraceID:   res.TraceID,
 		Visited:   res.Visited,
 		Cached:    res.Cached,
+		Batched:   res.Batched,
 		ExecTime:  res.Metrics.ExecTime,
 	}
 	if hq.IncludeValues {
@@ -213,15 +215,21 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Edges     uint64  `json:"edges"`
 		UptimeS   float64 `json:"uptime_s"`
 		GoVersion string  `json:"go_version"`
-		Stats     Stats   `json:"stats"`
+		// BatchSize/BatchWaitMs expose the batching configuration so
+		// load tooling can label measurements with the server's mode.
+		BatchSize   int     `json:"batch_size"`
+		BatchWaitMs float64 `json:"batch_wait_ms"`
+		Stats       Stats   `json:"stats"`
 	}{
-		Status:    state,
-		Graph:     s.name,
-		Vertices:  s.meta.Vertices,
-		Edges:     s.meta.Edges,
-		UptimeS:   s.Uptime().Seconds(),
-		GoVersion: runtime.Version(),
-		Stats:     stats,
+		Status:      state,
+		Graph:       s.name,
+		Vertices:    s.meta.Vertices,
+		Edges:       s.meta.Edges,
+		UptimeS:     s.Uptime().Seconds(),
+		GoVersion:   runtime.Version(),
+		BatchSize:   s.cfg.BatchSize,
+		BatchWaitMs: float64(s.cfg.BatchWait) / float64(time.Millisecond),
+		Stats:       stats,
 	})
 }
 

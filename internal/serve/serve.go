@@ -157,6 +157,11 @@ type Result struct {
 	Metrics metrics.Run
 	// Cached reports that the answer came from the result cache.
 	Cached bool
+	// Batched reports that this Submit was answered by demultiplexing a
+	// shared batch run (DESIGN.md §13). Metrics then describes that
+	// shared run, not a per-query one. Cache hits clear it: they report
+	// their own provenance, not the filling query's.
+	Batched bool
 	// TraceID is the query's trace ID (the submitted one, or the one the
 	// service generated).
 	TraceID string
@@ -174,6 +179,16 @@ type Config struct {
 	// CacheEntries sizes the LRU result cache. Default 64; negative
 	// disables caching.
 	CacheEntries int
+	// BatchSize turns on cross-query batch execution (DESIGN.md §13):
+	// single-source BFS queries on the fastbfs/xstream engines that miss
+	// the result cache accumulate into shared bit-parallel runs of up to
+	// BatchSize distinct roots per pass. 0 disables batching; values
+	// above algo.MaxBatchRoots (32) are clamped to it.
+	BatchSize int
+	// BatchWait is the longest a forming batch is held open waiting for
+	// companion queries before it executes. Default 2ms when batching is
+	// enabled. Queries with tight deadlines shorten their batch's hold.
+	BatchWait time.Duration
 	// Base is the engine configuration applied to every query (memory
 	// budget, threads, simulation, trim policy...). Per-query fields —
 	// Root, MaxIterations, FilePrefix, Tracer, Sim (cloned) — are
@@ -214,6 +229,15 @@ func (c *Config) setDefaults() {
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0
 	}
+	if c.BatchSize < 0 {
+		c.BatchSize = 0
+	}
+	if c.BatchSize > algo.MaxBatchRoots {
+		c.BatchSize = algo.MaxBatchRoots
+	}
+	if c.BatchSize > 0 && c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
 }
 
 // serveCounters are the service's live obs counters (no-ops on a nil
@@ -230,6 +254,14 @@ type serveCounters struct {
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 	slow        *obs.Counter
+
+	batchQueries    *obs.Counter
+	batchRuns       *obs.Counter
+	batchCoalesced  *obs.Counter
+	batchSolo       *obs.Counter
+	batchEvicted    *obs.Counter
+	deviceBytes     *obs.Counter
+	batchBytesSaved *obs.Counter
 }
 
 // GraphService serves concurrent queries over one stored graph.
@@ -258,6 +290,9 @@ type GraphService struct {
 	wg      sync.WaitGroup
 
 	cache *lru
+	// batcher coalesces BFS queries into shared runs; nil when
+	// Config.BatchSize is 0.
+	batcher *batcher
 }
 
 // New opens graphName on vol for serving. The graph's metadata is
@@ -298,6 +333,17 @@ func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error
 		cacheHits:   s.tr.Counter(obs.CtrServeCacheHits),
 		cacheMisses: s.tr.Counter(obs.CtrServeCacheMisses),
 		slow:        s.tr.Counter(obs.CtrServeSlow),
+
+		batchQueries:    s.tr.Counter(obs.CtrServeBatchQueries),
+		batchRuns:       s.tr.Counter(obs.CtrServeBatchRuns),
+		batchCoalesced:  s.tr.Counter(obs.CtrServeBatchCoalesced),
+		batchSolo:       s.tr.Counter(obs.CtrServeBatchSolo),
+		batchEvicted:    s.tr.Counter(obs.CtrServeBatchEvicted),
+		deviceBytes:     s.tr.Counter(obs.CtrServeDeviceBytes),
+		batchBytesSaved: s.tr.Counter(obs.CtrServeBatchBytesSaved),
+	}
+	if cfg.BatchSize > 0 {
+		s.batcher = newBatcher(s)
 	}
 	return s, nil
 }
@@ -380,9 +426,15 @@ func (s *GraphService) submit(ctx context.Context, q Query, tm *queryTiming) (Qu
 			tm.cached = true
 			hit := *res
 			hit.Cached = true
+			hit.Batched = false
 			return nq, &hit, nil
 		}
 		s.ctr.cacheMisses.Add(1)
+	}
+
+	if s.batchable(nq) {
+		res, err := s.submitBatched(ctx, nq, key, useCache, tm)
+		return nq, res, err
 	}
 
 	tm.waited = true
@@ -415,6 +467,7 @@ func (s *GraphService) submit(ctx context.Context, q Query, tm *queryTiming) (Qu
 	s.ctr.completed.Add(1)
 	s.ctr.ioRetries.Add(res.Metrics.IORetries)
 	s.ctr.ioFailures.Add(res.Metrics.IOFailures)
+	s.ctr.deviceBytes.Add(res.Metrics.BytesRead + res.Metrics.BytesWritten)
 	if useCache {
 		s.cache.put(key, res)
 	}
@@ -494,6 +547,9 @@ func (s *GraphService) record(q Query, res *Result, err error, tm queryTiming, s
 	}
 	if res != nil {
 		sp.Attr("visited", int64(res.Visited))
+		if res.Batched {
+			sp.Attr("batched", 1)
+		}
 	}
 	sp.End()
 
@@ -782,6 +838,20 @@ type Stats struct {
 	IOFailures int64 `json:"io_failures"`
 	// SlowQueries counts queries at or past Config.SlowQueryThreshold.
 	SlowQueries int64 `json:"slow_queries"`
+	// Batch execution counters (DESIGN.md §13): queries answered through
+	// the batcher, shared runs executed, members that shared a run with
+	// company vs. rode alone, members that left before their batch
+	// resolved, and the batcher's estimate of device bytes it avoided.
+	BatchQueries    int64 `json:"batch_queries"`
+	BatchRuns       int64 `json:"batch_runs"`
+	BatchCoalesced  int64 `json:"batch_coalesced"`
+	BatchSolo       int64 `json:"batch_solo"`
+	BatchEvicted    int64 `json:"batch_evicted"`
+	BatchBytesSaved int64 `json:"batch_bytes_saved"`
+	// DeviceBytes accumulates device bytes moved (read + written) by
+	// completed engine runs, solo and batched alike — the denominator
+	// for bytes-per-query comparisons.
+	DeviceBytes int64 `json:"device_bytes"`
 }
 
 // Stats reads the current counter values.
@@ -799,5 +869,13 @@ func (s *GraphService) Stats() Stats {
 		IORetries:   s.ctr.ioRetries.Value(),
 		IOFailures:  s.ctr.ioFailures.Value(),
 		SlowQueries: s.ctr.slow.Value(),
+
+		BatchQueries:    s.ctr.batchQueries.Value(),
+		BatchRuns:       s.ctr.batchRuns.Value(),
+		BatchCoalesced:  s.ctr.batchCoalesced.Value(),
+		BatchSolo:       s.ctr.batchSolo.Value(),
+		BatchEvicted:    s.ctr.batchEvicted.Value(),
+		BatchBytesSaved: s.ctr.batchBytesSaved.Value(),
+		DeviceBytes:     s.ctr.deviceBytes.Value(),
 	}
 }

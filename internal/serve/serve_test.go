@@ -243,6 +243,9 @@ func TestServiceSaturationCancellationAndDrain(t *testing.T) {
 	want := serve.Stats{
 		Admitted: 4, Completed: 3, Cancelled: 2, Rejected: 2,
 		CacheMisses: 7, CacheSize: 3,
+		// Device bytes vary with partitioning and trim decisions; this
+		// test pins the admission-control ledger, not I/O volume.
+		DeviceBytes: st.DeviceBytes,
 	}
 	if st != want {
 		t.Errorf("stats = %+v, want %+v", st, want)
