@@ -72,6 +72,7 @@ func main() {
 	twoDisks := flag.Bool("twodisks", false, "simulate a second disk for update/stay streams")
 	trimStart := flag.Int("trimstart", 0, "fastbfs: delay trimming until this iteration")
 	direction := flag.String("direction", "", "search direction: topdown, bottomup, or auto (Beamer-style hybrid; empty = FASTBFS_DIRECTION env, else topdown)")
+	codec := flag.String("codec", "", "working-file codec: fixed or delta (empty = FASTBFS_CODEC env, else the dataset's stored codec)")
 	residency := flag.String("residency-budget", "", "fastbfs: resident-partition cache budget (bytes with K/M/G suffix, 0/off, or unbounded; empty = FASTBFS_RESIDENCY env)")
 	noTrim := flag.Bool("notrim", false, "fastbfs: disable trimming")
 	noSelSched := flag.Bool("noselsched", false, "fastbfs: disable selective scheduling")
@@ -124,6 +125,15 @@ func main() {
 			fail(err)
 		}
 		opts.Direction = d
+	}
+	// Same treatment for -codec: empty keeps the engine's FASTBFS_CODEC /
+	// stored-codec defaulting.
+	if *codec != "" {
+		c, err := graph.ParseCodec(*codec)
+		if err != nil {
+			fail(err)
+		}
+		opts.Codec = c
 	}
 	if *sim {
 		cfg := &xstream.SimConfig{CPU: disksim.DefaultCPU(), Costs: disksim.DefaultCosts()}

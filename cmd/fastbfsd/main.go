@@ -212,8 +212,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "fastbfsd: serving %s (%d vertices, %d edges) on http://%s\n",
-		*name, svc.Graph().Vertices, svc.Graph().Edges, ln.Addr())
+	fmt.Fprintf(os.Stderr, "fastbfsd: serving %s (%d vertices, %d edges, codec %s) on http://%s\n",
+		*name, svc.Graph().Vertices, svc.Graph().Edges, svc.Graph().EdgeCodec(), ln.Addr())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.Serve(ln) }()
@@ -280,7 +280,10 @@ func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		st := svc.Stats()
+		g := svc.Graph()
 		fmt.Fprintf(w, "fastbfsd live stats\n\n")
+		fmt.Fprintf(w, "graph %s: %d vertices, %d edges, codec %s, reordered %v\n\n",
+			g.Name, g.Vertices, g.Edges, g.EdgeCodec(), g.Reordered)
 		fmt.Fprintf(w, "%-22s %d\n", "in_flight", st.InFlight)
 		fmt.Fprintf(w, "%-22s %d\n", "queue_depth", st.QueueDepth)
 		fmt.Fprintf(w, "%-22s %d\n", "admitted", st.Admitted)

@@ -29,12 +29,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	name := flag.String("name", "", "override the dataset name")
 	tendrils := flag.Int("tendrils", 0, "append N-vertex tendril chains (one per 512 vertices) to deepen BFS")
+	codecName := flag.String("codec", "fixed", "edge-file codec: fixed or delta")
+	reorder := flag.Bool("reorder", false, "relabel vertices by descending degree before storing")
 	flag.Parse()
+
+	codec, err := graph.ParseCodec(*codecName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(2)
+	}
 
 	var (
 		m     graph.Meta
 		edges []graph.Edge
-		err   error
 	)
 	switch *typ {
 	case "rmat":
@@ -71,11 +78,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
-	if err := graph.Store(vol, m, edges); err != nil {
+	opts := graph.StoreOptions{Codec: codec, Reverse: true, ReorderByDegree: *reorder}
+	if err := graph.StoreGraph(vol, m, edges, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("stored %s: %d vertices, %d edges, %d bytes (%s, %s)\n",
-		m.Name, m.Vertices, m.Edges, m.DataBytes(),
+	stored, err := graph.LoadMeta(vol, m.Name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	bytes := stored.DataBytes()
+	if stored.EdgeCodec() == graph.CodecDelta {
+		bytes = stored.StoredBytes
+	}
+	fmt.Printf("stored %s: %d vertices, %d edges, %d bytes, codec %s, reordered %v (%s, %s)\n",
+		stored.Name, stored.Vertices, stored.Edges, bytes, stored.EdgeCodec(), stored.Reordered,
 		graph.EdgeFileName(m.Name), graph.ConfFileName(m.Name))
 }

@@ -35,10 +35,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	stored := m.DataBytes()
+	if m.EdgeCodec() == graph.CodecDelta {
+		stored = m.StoredBytes
+	}
+	bpe := float64(stored)
+	if m.Edges > 0 {
+		bpe /= float64(m.Edges)
+	}
 	fmt.Printf("name:       %s\n", m.Name)
 	fmt.Printf("vertices:   %d\n", m.Vertices)
 	fmt.Printf("edges:      %d\n", m.Edges)
 	fmt.Printf("data size:  %d bytes\n", m.DataBytes())
+	fmt.Printf("codec:      %s (%d stored bytes, %.2f bytes/edge)\n", m.EdgeCodec(), stored, bpe)
+	fmt.Printf("reordered:  %v (degree permutation: %v)\n", m.Reordered, graph.HasPerm(vol, *name))
 	fmt.Printf("weighted:   %v\n", m.Weighted)
 	fmt.Printf("undirected: %v\n", m.Undirected)
 

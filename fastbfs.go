@@ -131,7 +131,44 @@ func NewMemVolume() *storage.Mem { return storage.NewMem() }
 // clock timing).
 func NewOSVolume(dir string) (*storage.OS, error) { return storage.NewOS(dir) }
 
-// Store writes a graph (binary edge list + config file) to a volume.
+// Codec identifies a stored edge representation: CodecFixed is the raw
+// fixed-width record format, CodecDelta the block-compressed varint
+// delta format (see DESIGN.md §14).
+type Codec = graph.Codec
+
+// The available codecs.
+const (
+	CodecFixed = graph.CodecFixed
+	CodecDelta = graph.CodecDelta
+)
+
+// ParseCodec maps "fixed" or "delta" to a Codec ("" defaults to fixed);
+// unknown names fail with ErrBadOptions.
+func ParseCodec(s string) (Codec, error) { return graph.ParseCodec(s) }
+
+// StoreOptions configures StoreGraph: the edge codec, whether to write
+// the reverse-edge file direction-optimized traversals need, and
+// whether to relabel vertices by descending degree before storing.
+type StoreOptions = graph.StoreOptions
+
+// StoreGraph writes a graph (edge list, optional reverse-edge file,
+// config) to a volume under explicit storage options. A reordered graph
+// is stored under a degree-sorted relabeling with the permutation
+// persisted alongside; every query API keeps speaking the caller's
+// original vertex labels — roots, levels, parents and algorithm values
+// are translated at the API boundary. ctx only gates the call's start
+// (storing is one synchronous pass; there are no iteration boundaries
+// to poll).
+func StoreGraph(ctx context.Context, vol Volume, m Meta, edges []Edge, opts StoreOptions) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return graph.StoreGraph(vol, m, edges, opts)
+}
+
+// Store writes a graph (binary edge list + config file) to a volume —
+// StoreGraph under the fixed codec with a reverse-edge file, kept as a
+// compatibility wrapper; prefer StoreGraph in new code.
 func Store(vol Volume, m Meta, edges []Edge) error { return graph.Store(vol, m, edges) }
 
 // LoadMeta reads a stored graph's metadata.

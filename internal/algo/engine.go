@@ -106,6 +106,12 @@ func RunContext(ctx context.Context, vol storage.Volume, graphName string, prog 
 
 	run := metrics.Run{Engine: prog.Name()}
 
+	if rt.Perm != nil {
+		// Reordered dataset: translate every vertex id crossing the
+		// Program boundary back to original labels (see permProgram).
+		prog = newPermProgram(prog, rt.Perm)
+	}
+
 	applyTo := func(iter int, dst graph.VertexID, val, payload uint64) (uint64, bool) {
 		return prog.Apply(iter, val, payload)
 	}
@@ -343,6 +349,9 @@ func RunContext(ctx context.Context, vol storage.Volume, graphName string, prog 
 		for i := 0; i < int(hi-lo); i++ {
 			res.Values[int(lo)+i] = binary.LittleEndian.Uint64(b[i*8:])
 		}
+	}
+	if rt.Perm != nil {
+		res.Values = graph.ReindexByPerm(rt.Perm, res.Values)
 	}
 	rt.FinishMetrics(&run)
 	res.Metrics = run

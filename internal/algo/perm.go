@@ -1,0 +1,56 @@
+package algo
+
+import "fastbfs/internal/graph"
+
+// permProgram adapts a Program to a degree-reordered dataset: the engine
+// streams edges and values in the *stored* label space, but programs are
+// written against the caller's original labels (roots in BFS/SSSP Init,
+// WCC's vertex-id labels, PageRank's degree table, BatchBFS's side
+// arrays). The wrapper translates every vertex id crossing the Program
+// boundary to its original label, so the inner program never sees a
+// stored id; the packed values stay engine-side and are reindexed back
+// to original order when RunContext collects them.
+type permProgram struct {
+	inner Program
+	perm  *graph.Permutation
+}
+
+func newPermProgram(p Program, perm *graph.Permutation) *permProgram {
+	return &permProgram{inner: p, perm: perm}
+}
+
+func (p *permProgram) Name() string { return p.inner.Name() }
+
+func (p *permProgram) Init(v graph.VertexID) uint64 {
+	return p.inner.Init(p.perm.ToOrig(v))
+}
+
+func (p *permProgram) Scatter(iter int, src graph.VertexID, srcVal uint64, dst graph.VertexID, weight float32) (uint64, bool) {
+	return p.inner.Scatter(iter, p.perm.ToOrig(src), srcVal, p.perm.ToOrig(dst), weight)
+}
+
+func (p *permProgram) BeginGather(iter int, val uint64) uint64 {
+	return p.inner.BeginGather(iter, val)
+}
+
+func (p *permProgram) Apply(iter int, val, payload uint64) (uint64, bool) {
+	return p.inner.Apply(iter, val, payload)
+}
+
+// ApplyTo keeps the inner program's DstApplier extension working (the
+// engine always sees the wrapper as a DstApplier; plain programs fall
+// through to Apply, preserving their contract).
+func (p *permProgram) ApplyTo(iter int, dst graph.VertexID, val, payload uint64) (uint64, bool) {
+	if da, ok := p.inner.(DstApplier); ok {
+		return da.ApplyTo(iter, p.perm.ToOrig(dst), val, payload)
+	}
+	return p.inner.Apply(iter, val, payload)
+}
+
+func (p *permProgram) EndGather(iter int, val uint64) (uint64, bool) {
+	return p.inner.EndGather(iter, val)
+}
+
+func (p *permProgram) Converged(iter int, changes uint64, emitted int64) bool {
+	return p.inner.Converged(iter, changes, emitted)
+}

@@ -141,6 +141,7 @@ func Registry() []Experiment {
 		{ID: "workers", Title: "Scatter worker-pool sweep (wall clock, Mem volume)", Run: Workers},
 		{ID: "residency", Title: "Resident-partition cache budget sweep", Run: Residency},
 		{ID: "direction", Title: "Traversal direction sweep (topdown vs auto hybrid)", Run: DirectionSweep},
+		{ID: "codec", Title: "Storage codec sweep (fixed vs delta, ± degree reorder)", Run: CodecSweep},
 	}
 }
 

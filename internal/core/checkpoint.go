@@ -68,6 +68,10 @@ type checkpointManifest struct {
 	Engine     string `json:"engine"`
 	Graph      string `json:"graph"`
 	FilePrefix string `json:"file_prefix"`
+	// Codec is the working-file codec the checkpointed run used; empty
+	// (a pre-codec manifest) means fixed. The named working files are in
+	// this codec, so a resume under a different one must refuse.
+	Codec string `json:"codec,omitempty"`
 	// Iteration is the last COMPLETED iteration; resume restarts at
 	// Iteration+1. Done marks a finished run (resume only re-collects).
 	Iteration int  `json:"iteration"`
@@ -218,6 +222,7 @@ func (e *engine) writeManifest(iter int, done bool, run *metrics.Run) error {
 		Engine:          EngineName,
 		Graph:           e.rt.Meta.Name,
 		FilePrefix:      e.rt.Opts.FilePrefix,
+		Codec:           string(e.rt.Codec),
 		Iteration:       iter,
 		Done:            done,
 		Visited:         e.visited,
@@ -259,6 +264,11 @@ func (e *engine) seedFromManifest(man *checkpointManifest, run *metrics.Run) err
 		man.FilePrefix != e.rt.Opts.FilePrefix || len(man.Parts) != e.rt.Parts.P() {
 		return fmt.Errorf("fastbfs: checkpoint manifest (engine %q graph %q prefix %q, %d partitions) does not match this run (%q, %d partitions): %w",
 			man.Engine, man.Graph, man.FilePrefix, len(man.Parts), e.rt.Meta.Name, e.rt.Parts.P(), errs.ErrCorrupted)
+	}
+	manCodec, err := graph.ParseCodec(man.Codec)
+	if err != nil || manCodec != e.rt.Codec {
+		return fmt.Errorf("fastbfs: checkpoint manifest was written under codec %q but this run uses %q: %w",
+			man.Codec, e.rt.Codec, errs.ErrCorrupted)
 	}
 	for p := range man.Parts {
 		mp := &man.Parts[p]

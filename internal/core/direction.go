@@ -282,7 +282,7 @@ func (e *engine) fusedFirstBottomUp(iter int, d *dirRun, itRow *metrics.Iteratio
 	stayTiming := e.otherTiming(e.mainTiming())
 	outs := make([]*stream.Writer[graph.Edge], e.rt.Parts.P())
 	for p := range outs {
-		w, werr := stream.NewFramedEdgeWriter(e.rt.Vol, e.revStayFile(iter, p), stayTiming, e.rt.Opts.StreamBufSize)
+		w, werr := stream.NewCodecFramedEdgeWriter(e.rt.Vol, e.revStayFile(iter, p), stayTiming, e.rt.Opts.StreamBufSize, e.rt.Codec)
 		if werr != nil {
 			for _, o := range outs[:p] {
 				o.Abort()
@@ -457,7 +457,7 @@ func (e *engine) bottomUpPartition(p, iter int, d *dirRun, itRow *metrics.Iterat
 	var stayTiming stream.Timing
 	if itRow.TrimActive && !d.revBroken[p] {
 		stayTiming = e.otherTiming(d.revTiming[p])
-		w, werr := stream.NewFramedEdgeWriter(e.rt.Vol, e.revStayFile(iter, p), stayTiming, e.opts.StayBufSize)
+		w, werr := stream.NewCodecFramedEdgeWriter(e.rt.Vol, e.revStayFile(iter, p), stayTiming, e.opts.StayBufSize, e.rt.Codec)
 		switch {
 		case werr == nil:
 			w.SetAsync() // write-behind; the next pass barriers through AwaitFile

@@ -716,7 +716,7 @@ func (e *engine) scatterInput(st *partState, p, iter int, trimNow bool, sh *stre
 			sink = capture
 		} else {
 			stayTiming := e.otherTiming(st.inputTiming)
-			f, err := e.sw.Begin(e.rt.StayFile(iter, p), stayTiming)
+			f, err := e.sw.BeginCodec(e.rt.StayFile(iter, p), stayTiming, e.rt.Codec)
 			switch {
 			case err == nil:
 				stay = f
@@ -836,9 +836,10 @@ func (e *engine) resolveInput(p int, itRow *metrics.Iteration) (string, stream.T
 		// bit-flipped stay write detected before that falls back to it.
 		st.fallback, st.fallbackTiming = st.input, st.inputTiming
 	}
-	// The adopted stay file's bytes are the write amount trimming really
-	// added (cancelled writes were refunded on the device timeline).
-	e.rt.BytesWritten += f.Count() * graph.EdgeBytes
+	// The adopted stay file's device bytes are the write amount trimming
+	// really added (cancelled writes were refunded on the device
+	// timeline; delta stays count their encoded size).
+	e.rt.BytesWritten += f.DeviceBytes()
 	st.input = f.Name()
 	st.inputTiming = st.pendingTiming
 	return st.input, st.inputTiming

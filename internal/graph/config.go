@@ -31,6 +31,18 @@ func WriteConfig(w io.Writer, m Meta) error {
 		"weighted = " + strconv.FormatBool(m.Weighted),
 		"undirected = " + strconv.FormatBool(m.Undirected),
 	}
+	// Codec fields are emitted only when non-default, so pre-codec
+	// readers (which ignore unknown keys) and byte-for-byte config
+	// comparisons keep working on fixed-format graphs.
+	if m.EdgeCodec() != CodecFixed {
+		lines = append(lines, "codec = "+m.Codec.String())
+	}
+	if m.Reordered {
+		lines = append(lines, "reordered = true")
+	}
+	if m.StoredBytes != 0 {
+		lines = append(lines, "stored_bytes = "+strconv.FormatUint(m.StoredBytes, 10))
+	}
 	for _, l := range lines {
 		if _, err := io.WriteString(w, l+"\n"); err != nil {
 			return fmt.Errorf("graph: writing config: %w", err)
@@ -70,6 +82,12 @@ func ReadConfig(r io.Reader) (Meta, error) {
 			m.Weighted, err = strconv.ParseBool(val)
 		case "undirected":
 			m.Undirected, err = strconv.ParseBool(val)
+		case "codec":
+			m.Codec, err = ParseCodec(val)
+		case "reordered":
+			m.Reordered, err = strconv.ParseBool(val)
+		case "stored_bytes":
+			m.StoredBytes, err = strconv.ParseUint(val, 10, 64)
 		}
 		if err != nil {
 			return m, fmt.Errorf("graph: config line %d: bad value for %s: %w", lineno, key, err)

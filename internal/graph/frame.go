@@ -44,13 +44,20 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // terminator frame; it does not close the underlying writer.
 type FrameWriter struct {
 	w      io.Writer
+	magic  uint32
 	opened bool
 	hdr    [frameHeaderBytes]byte
 }
 
-// NewFrameWriter returns a FrameWriter over w. Nothing is written
-// until the first Write or Finish.
-func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+// NewFrameWriter returns a FrameWriter over w opening with FrameMagic.
+// Nothing is written until the first Write or Finish.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w, magic: FrameMagic} }
+
+// NewFrameWriterMagic returns a FrameWriter opening with an explicit
+// magic — FrameMagicDelta for delta-block payloads.
+func NewFrameWriterMagic(w io.Writer, magic uint32) *FrameWriter {
+	return &FrameWriter{w: w, magic: magic}
+}
 
 func (fw *FrameWriter) writeMagic() error {
 	if fw.opened {
@@ -58,7 +65,7 @@ func (fw *FrameWriter) writeMagic() error {
 	}
 	fw.opened = true
 	var m [4]byte
-	binary.LittleEndian.PutUint32(m[:], FrameMagic)
+	binary.LittleEndian.PutUint32(m[:], fw.magic)
 	_, err := fw.w.Write(m[:])
 	return err
 }
@@ -121,18 +128,28 @@ func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
 // the frame magic. It returns the bytes consumed so a raw reader can
 // replay them.
 func SniffMagic(r io.Reader) (isFramed bool, prefix []byte, err error) {
+	magic, prefix, err := SniffContainer(r)
+	return magic == FrameMagic, prefix, err
+}
+
+// SniffContainer reads up to 4 bytes from r and classifies the file:
+// it returns FrameMagic or FrameMagicDelta for framed containers
+// (prefix nil), or 0 with the consumed bytes for a raw file, so a raw
+// reader can replay them.
+func SniffContainer(r io.Reader) (magic uint32, prefix []byte, err error) {
 	var m [4]byte
 	n, err := io.ReadFull(r, m[:])
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		return false, m[:n], nil
+		return 0, m[:n], nil
 	}
 	if err != nil {
-		return false, m[:n], err
+		return 0, m[:n], err
 	}
-	if binary.LittleEndian.Uint32(m[:]) == FrameMagic {
-		return true, nil, nil
+	switch got := binary.LittleEndian.Uint32(m[:]); got {
+	case FrameMagic, FrameMagicDelta:
+		return got, nil, nil
 	}
-	return false, m[:4], nil
+	return 0, m[:4], nil
 }
 
 func (fr *FrameReader) corrupt(format string, args ...any) error {
@@ -210,13 +227,27 @@ func (fr *FrameReader) Read(p []byte) (int, error) {
 
 // DeframeAll decodes an entire framed byte slice (magic included) back
 // into its concatenated payload. It is the test- and tool-side helper
-// for inspecting framed files.
+// for inspecting framed files. Both container magics are accepted; the
+// payload of an FBD1 file is delta blocks, not records (see
+// DecodeDeltaStream).
 func DeframeAll(b []byte) ([]byte, error) {
-	if len(b) < 4 || binary.LittleEndian.Uint32(b[:4]) != FrameMagic {
-		return nil, fmt.Errorf("graph: %w: not a framed stream (no magic)", errs.ErrCorrupted)
+	_, payload, err := DeframeAllMagic(b)
+	return payload, err
+}
+
+// DeframeAllMagic is DeframeAll returning the container magic as well,
+// so tools can report which codec a file carries.
+func DeframeAllMagic(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("graph: %w: not a framed stream (no magic)", errs.ErrCorrupted)
+	}
+	magic := binary.LittleEndian.Uint32(b[:4])
+	if magic != FrameMagic && magic != FrameMagicDelta {
+		return 0, nil, fmt.Errorf("graph: %w: not a framed stream (no magic)", errs.ErrCorrupted)
 	}
 	fr := NewFrameReader(&sliceReader{b: b[4:]})
-	return io.ReadAll(fr)
+	payload, err := io.ReadAll(fr)
+	return magic, payload, err
 }
 
 type sliceReader struct{ b []byte }
@@ -233,9 +264,12 @@ func (s *sliceReader) Read(p []byte) (int, error) {
 // FrameAll encodes payload chunks into a complete framed byte slice
 // (magic + one frame per chunk + terminator) — the inverse of
 // DeframeAll for tests and tools.
-func FrameAll(chunks ...[]byte) []byte {
+func FrameAll(chunks ...[]byte) []byte { return FrameAllMagic(FrameMagic, chunks...) }
+
+// FrameAllMagic is FrameAll under an explicit container magic.
+func FrameAllMagic(magic uint32, chunks ...[]byte) []byte {
 	var out writeBuf
-	fw := NewFrameWriter(&out)
+	fw := NewFrameWriterMagic(&out, magic)
 	for _, c := range chunks {
 		if _, err := fw.Write(c); err != nil {
 			panic(err) // writeBuf cannot fail; only the cap can, and callers are tests

@@ -79,6 +79,27 @@ type Meta struct {
 	// every logical edge (the friendster dataset in the paper is an
 	// undirected social graph stored symmetrized).
 	Undirected bool
+	// Codec names the edge-file encoding: CodecFixed ("" reads as
+	// fixed, the pre-codec default) or CodecDelta for block-compressed
+	// zig-zag varint deltas inside the FBD1 framed container.
+	Codec Codec
+	// Reordered records that vertex ids were relabeled by descending
+	// degree at store time; a .perm sidecar maps stored ids back to the
+	// original labels, and engines translate roots and results at the
+	// API boundary.
+	Reordered bool
+	// StoredBytes is the on-device size of the edge file when the codec
+	// compresses it (zero for fixed, where the size is DataBytes).
+	StoredBytes uint64
+}
+
+// EdgeCodec returns the effective codec, mapping the empty value to
+// CodecFixed.
+func (m Meta) EdgeCodec() Codec {
+	if m.Codec == "" {
+		return CodecFixed
+	}
+	return m.Codec
 }
 
 // DataBytes returns the size of the binary edge file described by m.
@@ -99,6 +120,12 @@ func (m Meta) Validate() error {
 	}
 	if m.Vertices > uint64(NoVertex) {
 		return fmt.Errorf("graph %q: %d vertices exceeds the VertexID space", m.Name, m.Vertices)
+	}
+	if _, err := ParseCodec(string(m.Codec)); err != nil {
+		return fmt.Errorf("graph %q: %w", m.Name, err)
+	}
+	if m.Weighted && m.EdgeCodec() != CodecFixed {
+		return fmt.Errorf("graph %q: weighted graphs support only the fixed codec", m.Name)
 	}
 	return nil
 }

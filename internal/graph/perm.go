@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fastbfs/internal/errs"
+	"fastbfs/internal/storage"
+)
+
+// Degree-aware vertex reordering: StoreGraph can relabel vertices by
+// descending total degree before writing the dataset, which clusters
+// hub edges so the delta codec's varints collapse (the power-law
+// graph-transformation observation). The old↔new mapping is persisted
+// in a .perm sidecar; engines run entirely in the stored (new) label
+// space and translate roots in and levels/parents out at the API
+// boundary, so callers never see relabeled ids.
+
+// PermFileName returns the degree-permutation sidecar name for a
+// dataset.
+func PermFileName(name string) string { return name + ".perm" }
+
+// HasPerm reports whether a stored dataset carries a permutation
+// sidecar.
+func HasPerm(vol storage.Volume, name string) bool {
+	sz, err := vol.Size(PermFileName(name))
+	return err == nil && sz > 0
+}
+
+// Permutation is a bijection between original vertex labels and the
+// stored ids of a reordered dataset.
+type Permutation struct {
+	origOf []VertexID // origOf[stored] = original
+	newOf  []VertexID // newOf[original] = stored
+}
+
+// NewPermutation builds a Permutation from the stored→original array,
+// validating that it is a bijection on [0, len).
+func NewPermutation(origOf []VertexID) (*Permutation, error) {
+	n := len(origOf)
+	newOf := make([]VertexID, n)
+	for i := range newOf {
+		newOf[i] = NoVertex
+	}
+	for stored, orig := range origOf {
+		if int(orig) >= n {
+			return nil, fmt.Errorf("graph: %w: permutation maps stored id %d to out-of-range vertex %d", errs.ErrCorrupted, stored, orig)
+		}
+		if newOf[orig] != NoVertex {
+			return nil, fmt.Errorf("graph: %w: permutation maps vertex %d twice", errs.ErrCorrupted, orig)
+		}
+		newOf[orig] = VertexID(stored)
+	}
+	return &Permutation{origOf: origOf, newOf: newOf}, nil
+}
+
+// Len returns the number of vertices the permutation covers.
+func (p *Permutation) Len() int { return len(p.origOf) }
+
+// ToStored maps an original vertex label to its stored id.
+func (p *Permutation) ToStored(orig VertexID) VertexID { return p.newOf[orig] }
+
+// ToOrig maps a stored id back to the original vertex label.
+func (p *Permutation) ToOrig(stored VertexID) VertexID { return p.origOf[stored] }
+
+// Apply relabels edges in place into the stored id space.
+func (p *Permutation) Apply(edges []Edge) {
+	for i, e := range edges {
+		edges[i] = Edge{Src: p.newOf[e.Src], Dst: p.newOf[e.Dst]}
+	}
+}
+
+// ReindexByPerm re-bases a per-vertex array from stored-id indexing to
+// original-label indexing: out[orig] = vals[stored].
+func ReindexByPerm[T any](p *Permutation, vals []T) []T {
+	out := make([]T, len(vals))
+	for stored, v := range vals {
+		out[p.origOf[stored]] = v
+	}
+	return out
+}
+
+// TranslateParents re-bases a parent array from the stored space to the
+// original space, mapping both the index and the stored parent id (the
+// NoVertex sentinel passes through).
+func (p *Permutation) TranslateParents(parents []VertexID) []VertexID {
+	out := make([]VertexID, len(parents))
+	for stored, par := range parents {
+		if par != NoVertex {
+			par = p.origOf[par]
+		}
+		out[p.origOf[stored]] = par
+	}
+	return out
+}
+
+// DegreePermutation builds the descending-total-degree relabeling:
+// stored id 0 is the highest-degree vertex. Ties break on ascending
+// original label, so the permutation is deterministic for a given edge
+// list.
+func DegreePermutation(vertices uint64, edges []Edge) *Permutation {
+	deg := make([]uint32, vertices)
+	for _, e := range edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	origOf := make([]VertexID, vertices)
+	for i := range origOf {
+		origOf[i] = VertexID(i)
+	}
+	sort.Slice(origOf, func(i, j int) bool {
+		if deg[origOf[i]] != deg[origOf[j]] {
+			return deg[origOf[i]] > deg[origOf[j]]
+		}
+		return origOf[i] < origOf[j]
+	})
+	p, err := NewPermutation(origOf)
+	if err != nil {
+		panic(err) // origOf is a permutation by construction
+	}
+	return p
+}
+
+// StorePerm writes the permutation sidecar: the stored→original uint32
+// array inside the checksummed framed container.
+func StorePerm(vol storage.Volume, name string, p *Permutation) error {
+	payload := make([]byte, 4*len(p.origOf))
+	for i, v := range p.origOf {
+		binary.LittleEndian.PutUint32(payload[4*i:], uint32(v))
+	}
+	return storage.WriteAll(vol, PermFileName(name), FrameAll(payload))
+}
+
+// LoadPerm reads and validates the permutation sidecar of a reordered
+// dataset. Integrity violations — framing damage, a length that does
+// not match the vertex count, a non-bijective mapping — wrap
+// errs.ErrCorrupted.
+func LoadPerm(vol storage.Volume, name string, vertices uint64) (*Permutation, error) {
+	b, err := storage.ReadAll(vol, PermFileName(name))
+	if err != nil {
+		return nil, fmt.Errorf("graph: permutation for %s: %w", name, err)
+	}
+	payload, err := DeframeAll(b)
+	if err != nil {
+		return nil, fmt.Errorf("graph: permutation for %s: %w", name, err)
+	}
+	if uint64(len(payload)) != 4*vertices {
+		return nil, fmt.Errorf("graph: %w: permutation for %s is %d bytes, want %d", errs.ErrCorrupted, name, len(payload), 4*vertices)
+	}
+	origOf := make([]VertexID, vertices)
+	for i := range origOf {
+		origOf[i] = VertexID(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	p, err := NewPermutation(origOf)
+	if err != nil {
+		return nil, fmt.Errorf("graph: permutation for %s: %w", name, err)
+	}
+	return p, nil
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"fastbfs/internal/errs"
@@ -65,10 +66,63 @@ func reverseBytes(edges []Edge) []byte {
 	return out.b
 }
 
-// Store writes a graph — binary edge list plus configuration file — to a
-// volume. The edge count in m is overwritten with len(edges).
-func Store(vol storage.Volume, m Meta, edges []Edge) error {
+// deltaFileBytes encodes raw fixed-width edge records into the FBD1
+// framed container: delta blocks packed into ~1 MiB frames. Chunking
+// at a multiple of DeltaBlockMaxEdges keeps frame payloads at whole
+// blocks, so the encoding is identical to one pass over the full list.
+func deltaFileBytes(raw []byte) []byte {
+	var out writeBuf
+	fw := NewFrameWriterMagic(&out, FrameMagicDelta)
+	const chunk = reverseFrameEdges * EdgeBytes
+	var enc []byte
+	for off := 0; off < len(raw); off += chunk {
+		end := off + chunk
+		if end > len(raw) {
+			end = len(raw)
+		}
+		var err error
+		enc, err = AppendDeltaBlocks(enc[:0], raw[off:end])
+		if err != nil {
+			panic(err) // raw is whole records by construction
+		}
+		if _, err := fw.Write(enc); err != nil {
+			panic(err) // writeBuf cannot fail; encoded chunk is under the frame cap
+		}
+	}
+	if err := fw.Finish(); err != nil {
+		panic(err)
+	}
+	return out.b
+}
+
+// StoreOptions configures StoreGraph.
+type StoreOptions struct {
+	// Codec selects the edge-file encoding: CodecFixed (also the ""
+	// default) or CodecDelta.
+	Codec Codec
+	// Reverse also writes the .rev reverse-edge file, enabling the
+	// bottom-up traversal direction.
+	Reverse bool
+	// ReorderByDegree relabels vertices by descending total degree and
+	// sorts the edge list before writing, persisting the old↔new
+	// mapping in the .perm sidecar. Engines translate roots and
+	// results at the API boundary, so callers keep using the original
+	// labels.
+	ReorderByDegree bool
+}
+
+// StoreGraph writes a graph — edge list, optional reverse file and
+// permutation sidecar, plus configuration file — to a volume under the
+// requested codec. The edge count in m is overwritten with len(edges).
+func StoreGraph(vol storage.Volume, m Meta, edges []Edge, opts StoreOptions) error {
+	codec, err := ParseCodec(string(opts.Codec))
+	if err != nil {
+		return err
+	}
 	m.Edges = uint64(len(edges))
+	m.Codec = codec
+	m.Reordered = opts.ReorderByDegree
+	m.StoredBytes = 0
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -77,17 +131,60 @@ func Store(vol storage.Volume, m Meta, edges []Edge) error {
 			return err
 		}
 	}
-	if err := storage.WriteAll(vol, EdgeFileName(m.Name), EdgesToBytes(edges)); err != nil {
+	if opts.ReorderByDegree {
+		perm := DegreePermutation(m.Vertices, edges)
+		relabeled := make([]Edge, len(edges))
+		copy(relabeled, edges)
+		perm.Apply(relabeled)
+		sort.Slice(relabeled, func(i, j int) bool {
+			if relabeled[i].Src != relabeled[j].Src {
+				return relabeled[i].Src < relabeled[j].Src
+			}
+			return relabeled[i].Dst < relabeled[j].Dst
+		})
+		edges = relabeled
+		if err := StorePerm(vol, m.Name, perm); err != nil {
+			return err
+		}
+	}
+	raw := EdgesToBytes(edges)
+	var file []byte
+	if codec == CodecDelta {
+		file = deltaFileBytes(raw)
+		m.StoredBytes = uint64(len(file))
+	} else {
+		file = raw
+	}
+	if err := storage.WriteAll(vol, EdgeFileName(m.Name), file); err != nil {
 		return err
 	}
-	if err := storage.WriteAll(vol, ReverseFileName(m.Name), reverseBytes(edges)); err != nil {
-		return err
+	if opts.Reverse {
+		var rev []byte
+		if codec == CodecDelta {
+			rraw := make([]byte, len(raw))
+			for off := 0; off < len(raw); off += EdgeBytes {
+				PutEdge(rraw[off:], GetEdge(raw[off:]).Reverse())
+			}
+			rev = deltaFileBytes(rraw)
+		} else {
+			rev = reverseBytes(edges)
+		}
+		if err := storage.WriteAll(vol, ReverseFileName(m.Name), rev); err != nil {
+			return err
+		}
 	}
 	var conf strings.Builder
 	if err := WriteConfig(&conf, m); err != nil {
 		return err
 	}
 	return storage.WriteAll(vol, ConfFileName(m.Name), []byte(conf.String()))
+}
+
+// Store writes a graph — binary edge list, reverse file plus
+// configuration file — to a volume in the fixed codec. It is the
+// original storing form, kept as a thin wrapper over StoreGraph.
+func Store(vol storage.Volume, m Meta, edges []Edge) error {
+	return StoreGraph(vol, m, edges, StoreOptions{Reverse: true})
 }
 
 // StoreWeighted writes a weighted graph — binary WEdge list plus
@@ -157,14 +254,24 @@ func LoadMeta(vol storage.Volume, name string) (Meta, error) {
 		}
 		return Meta{}, fmt.Errorf("graph: edge file for %s: %w", name, err)
 	}
-	if uint64(sz) != m.DataBytes() {
-		return Meta{}, fmt.Errorf("graph %s: edge file is %d bytes, config says %d", name, sz, m.DataBytes())
+	want := m.DataBytes()
+	if m.EdgeCodec() == CodecDelta {
+		// Compressed files record their on-device size in the config;
+		// the logical DataBytes no longer matches the file.
+		want = m.StoredBytes
+	}
+	if uint64(sz) != want {
+		return Meta{}, fmt.Errorf("graph %s: edge file is %d bytes, config says %d", name, sz, want)
 	}
 	return m, nil
 }
 
-// LoadEdges reads a stored graph's full edge list into memory. Intended
-// for tests, reference BFS and small graphs — engines stream instead.
+// LoadEdges reads a stored graph's full edge list into memory, decoding
+// compressed codecs and translating a reordered graph's endpoints back
+// to the caller's original labels, so the returned list always lines up
+// with results, roots and degree tables in original space. Intended for
+// tests, reference BFS and small graphs — engines stream the stored
+// (possibly relabeled) file instead.
 func LoadEdges(vol storage.Volume, name string) (Meta, []Edge, error) {
 	m, err := LoadMeta(vol, name)
 	if err != nil {
@@ -174,9 +281,31 @@ func LoadEdges(vol storage.Volume, name string) (Meta, []Edge, error) {
 	if err != nil {
 		return Meta{}, nil, err
 	}
+	if m.EdgeCodec() == CodecDelta {
+		magic, blocks, err := DeframeAllMagic(b)
+		if err != nil {
+			return Meta{}, nil, fmt.Errorf("graph %s: %w", name, err)
+		}
+		if magic != FrameMagicDelta {
+			return Meta{}, nil, fmt.Errorf("graph %s: %w: delta edge file carries magic %#x", name, errs.ErrCorrupted, magic)
+		}
+		if b, err = DecodeDeltaStream(blocks); err != nil {
+			return Meta{}, nil, fmt.Errorf("graph %s: %w", name, err)
+		}
+	}
 	edges, err := BytesToEdges(b)
 	if err != nil {
 		return Meta{}, nil, err
+	}
+	if m.Reordered {
+		perm, err := LoadPerm(vol, name, m.Vertices)
+		if err != nil {
+			return Meta{}, nil, err
+		}
+		for i := range edges {
+			edges[i].Src = perm.ToOrig(edges[i].Src)
+			edges[i].Dst = perm.ToOrig(edges[i].Dst)
+		}
 	}
 	return m, edges, nil
 }

@@ -41,6 +41,17 @@ type Config struct {
 	// bottomup, or auto for the Beamer-style hybrid. Empty leaves the
 	// engine's defaulting (FASTBFS_DIRECTION) in effect.
 	Direction xstream.Direction
+	// Codec is the working-file codec for the run (fixed or delta).
+	// Empty leaves the engine's defaulting in effect — FASTBFS_CODEC,
+	// else the dataset's stored codec — so the precedence is
+	// flag/config > env > stored > fixed.
+	Codec graph.Codec
+	// Reorder is the store-time half of the codec surface: tools that
+	// build datasets from a settings file (see StoreOptions) relabel
+	// vertices by descending degree. Engines ignore it — a reordered
+	// dataset is detected from its own config and translated at the API
+	// boundary.
+	Reorder bool
 
 	// FastBFS trim policy.
 	TrimStartIteration         int
@@ -140,6 +151,10 @@ func (c *Config) set(key, val string) error {
 		c.ScatterWorkers, err = strconv.Atoi(val)
 	case "direction":
 		c.Direction, err = xstream.ParseDirection(val)
+	case "codec":
+		c.Codec, err = graph.ParseCodec(val)
+	case "reorder":
+		c.Reorder, err = strconv.ParseBool(val)
 	case "trim_start_iteration":
 		c.TrimStartIteration, err = strconv.Atoi(val)
 	case "trim_visited_fraction":
@@ -245,6 +260,7 @@ func (c Config) EngineOptions() xstream.Options {
 		MaxIterations:   c.MaxIterations,
 		ScatterWorkers:  c.ScatterWorkers,
 		Direction:       c.Direction,
+		Codec:           c.Codec,
 	}
 	if !c.Sim {
 		return o
@@ -270,6 +286,14 @@ func (c Config) EngineOptions() xstream.Options {
 	}
 	o.Sim = sim
 	return o
+}
+
+// StoreOptions materializes the store-time settings (codec, degree
+// reordering) for tools that build datasets from the same settings
+// file. Reverse is always requested — stored datasets carry the
+// reverse file so every traversal direction works.
+func (c Config) StoreOptions() graph.StoreOptions {
+	return graph.StoreOptions{Codec: c.Codec, Reverse: true, ReorderByDegree: c.Reorder}
 }
 
 // CoreOptions materializes the full FastBFS option set.

@@ -209,10 +209,14 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		state = "degraded"
 	}
 	writeJSON(w, status, struct {
-		Status    string  `json:"status"`
-		Graph     string  `json:"graph"`
-		Vertices  uint64  `json:"vertices"`
-		Edges     uint64  `json:"edges"`
+		Status   string `json:"status"`
+		Graph    string `json:"graph"`
+		Vertices uint64 `json:"vertices"`
+		Edges    uint64 `json:"edges"`
+		// Codec/Reordered describe the open graph's stored encoding so
+		// operators can tell what a query pays for device bytes.
+		Codec     string  `json:"codec"`
+		Reordered bool    `json:"reordered"`
 		UptimeS   float64 `json:"uptime_s"`
 		GoVersion string  `json:"go_version"`
 		// BatchSize/BatchWaitMs expose the batching configuration so
@@ -225,6 +229,8 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Graph:       s.name,
 		Vertices:    s.meta.Vertices,
 		Edges:       s.meta.Edges,
+		Codec:       string(s.meta.EdgeCodec()),
+		Reordered:   s.meta.Reordered,
 		UptimeS:     s.Uptime().Seconds(),
 		GoVersion:   runtime.Version(),
 		BatchSize:   s.cfg.BatchSize,
@@ -240,8 +246,8 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *GraphService) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# TYPE fastbfs_uptime_seconds gauge\nfastbfs_uptime_seconds %g\n", s.Uptime().Seconds())
-	fmt.Fprintf(w, "# TYPE fastbfs_build_info gauge\nfastbfs_build_info{go_version=%q,graph=%q} 1\n",
-		runtime.Version(), s.name)
+	fmt.Fprintf(w, "# TYPE fastbfs_build_info gauge\nfastbfs_build_info{go_version=%q,graph=%q,codec=%q} 1\n",
+		runtime.Version(), s.name, string(s.meta.EdgeCodec()))
 	fmt.Fprintf(w, "# TYPE fastbfs_graph_vertices gauge\nfastbfs_graph_vertices %d\n", s.meta.Vertices)
 	fmt.Fprintf(w, "# TYPE fastbfs_graph_edges gauge\nfastbfs_graph_edges %d\n", s.meta.Edges)
 	_ = obs.WriteProm(w, "fastbfs", s.Telemetry())

@@ -148,7 +148,7 @@ func TestHTTPRequestIDEchoAndMetrics(t *testing.T) {
 		`fastbfs_serve_exec_seconds_sum{algo="bfs",engine="fastbfs",outcome="ok"}`,
 		"fastbfs_serve_admitted",
 		"fastbfs_uptime_seconds",
-		`fastbfs_build_info{go_version="` + runtime.Version() + `",graph="` + m.Name + `"} 1`,
+		`fastbfs_build_info{go_version="` + runtime.Version() + `",graph="` + m.Name + `",codec="fixed"} 1`,
 		"fastbfs_graph_vertices",
 	} {
 		if !strings.Contains(string(page), want) {

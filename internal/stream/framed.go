@@ -38,6 +38,13 @@ func newFramedWriter(w storage.Writer) *framedWriter {
 	return &framedWriter{inner: w, fw: graph.NewFrameWriter(w)}
 }
 
+// newFramedWriterMagic is newFramedWriter under an explicit container
+// magic — the sink for delta stay files, whose blocks are encoded on
+// the engine thread and arrive here pre-compressed.
+func newFramedWriterMagic(w storage.Writer, magic uint32) *framedWriter {
+	return &framedWriter{inner: w, fw: graph.NewFrameWriterMagic(w, magic)}
+}
+
 func (w *framedWriter) Write(p []byte) (int, error) { return w.fw.Write(p) }
 
 func (w *framedWriter) Close() error {
@@ -76,21 +83,25 @@ func (f *framedReader) Read(p []byte) (int, error) { return f.r.Read(p) }
 func (f *framedReader) Close() error               { return f.inner.Close() }
 func (f *framedReader) Size() int64                { return f.inner.Size() }
 
-// openSniffed opens name, detects the frame magic, and returns a
-// reader producing the payload stream: deframed (CRC-verified) for
-// framed files, byte-for-byte for raw ones. rt may be nil.
+// openSniffed opens name, detects the container magic, and returns a
+// reader producing the record stream: deframed (CRC-verified) for FBC1
+// files, deframed and block-decoded for FBD1 delta files,
+// byte-for-byte for raw ones. rt may be nil.
 func openSniffed(vol storage.Volume, name string, rt *Retrier) (storage.Reader, error) {
 	r, err := openRetrying(vol, name, rt)
 	if err != nil {
 		return nil, err
 	}
-	isFramed, prefix, err := graph.SniffMagic(r)
+	magic, prefix, err := graph.SniffContainer(r)
 	if err != nil {
 		r.Close()
 		return nil, err
 	}
-	if isFramed {
+	switch magic {
+	case graph.FrameMagic:
 		return &framedReader{inner: r, r: graph.NewFrameReader(r)}, nil
+	case graph.FrameMagicDelta:
+		return newDeltaReader(r, graph.NewFrameReader(r)), nil
 	}
 	if len(prefix) == 0 {
 		return r, nil

@@ -148,10 +148,15 @@ type StayFile struct {
 	sid    disksim.StreamID
 	name   string
 	w      storage.Writer
+	codec  graph.Codec
 
 	buf   []byte
 	fill  int
 	count int64
+	// dev is the device-view byte total of the flushed buffers: raw
+	// record bytes for fixed stay files, encoded bytes for delta ones —
+	// exactly what the WriteAsync reservations covered.
+	dev int64
 
 	// ops are the device handles of this file's background buffer
 	// writes, used for completion queries and cancellation refunds.
@@ -172,9 +177,28 @@ type StayFile struct {
 // into the already-safe cancellation path. timing.Retry, when set,
 // retries transient write faults on the writer goroutine.
 func (sw *StayWriter) Begin(name string, timing Timing) (*StayFile, error) {
-	w, err := createFramed(sw.vol, name, timing.Retry)
-	if err != nil {
-		return nil, err
+	return sw.BeginCodec(name, timing, graph.CodecFixed)
+}
+
+// BeginCodec is Begin under an edge codec. Delta stay files buffer raw
+// records like fixed ones, but each buffer is delta-encoded on the
+// engine thread at hand-off — the device reservation covers the
+// encoded bytes and Timing.MemBW is charged with the raw bytes — and
+// the writer goroutine emits it as one FBD1 frame.
+func (sw *StayWriter) BeginCodec(name string, timing Timing, codec graph.Codec) (*StayFile, error) {
+	var w storage.Writer
+	if codec == graph.CodecDelta {
+		inner, err := createRetrying(sw.vol, name, timing.Retry)
+		if err != nil {
+			return nil, err
+		}
+		w = newFramedWriterMagic(inner, graph.FrameMagicDelta)
+	} else {
+		var err error
+		w, err = createFramed(sw.vol, name, timing.Retry)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &StayFile{
 		sw:       sw,
@@ -182,6 +206,7 @@ func (sw *StayWriter) Begin(name string, timing Timing) (*StayFile, error) {
 		sid:      disksim.NewStreamID(),
 		name:     name,
 		w:        w,
+		codec:    codec,
 		buf:      make([]byte, sw.bufSize),
 		dataDone: make(chan struct{}),
 	}, nil
@@ -192,6 +217,10 @@ func (f *StayFile) Name() string { return f.name }
 
 // Count returns the number of edges appended.
 func (f *StayFile) Count() int64 { return f.count }
+
+// DeviceBytes returns the device-view size of the flushed buffers (see
+// the dev field) — what an adoption should add to a run's BytesWritten.
+func (f *StayFile) DeviceBytes() int64 { return f.dev }
 
 // Append adds a live edge to the stay list, handing the buffer to the
 // writer thread when it fills.
@@ -216,6 +245,22 @@ func (f *StayFile) flushAsync() {
 		return
 	}
 	sw := f.sw
+	data := f.buf[:f.fill]
+	if f.codec == graph.CodecDelta {
+		// Encode on the engine thread so the device reservation below
+		// covers the encoded bytes; the raw bytes are a memory pass.
+		enc, err := graph.AppendDeltaBlocks(make([]byte, 0, f.fill), data)
+		if err != nil {
+			panic(err) // the buffer holds whole records by construction
+		}
+		f.timing.memPass(int64(f.fill))
+		data = enc
+		f.fill = 0
+	} else {
+		f.buf = make([]byte, sw.bufSize)
+		f.fill = 0
+	}
+	f.dev += int64(len(data))
 	if c := f.timing.Clock; c != nil {
 		// Retire buffers whose writes completed.
 		for len(sw.inflight) > 0 && sw.inflight[0].Done(c.Now()) {
@@ -229,13 +274,10 @@ func (f *StayFile) flushAsync() {
 			c.WaitUntil(c.BgCompletion(sw.inflight[0]))
 			sw.inflight = sw.inflight[1:]
 		}
-		op := c.WriteAsync(f.timing.Device, int64(f.fill), f.sid)
+		op := c.WriteAsync(f.timing.Device, int64(len(data)), f.sid)
 		f.ops = append(f.ops, op)
 		sw.inflight = append(sw.inflight, op)
 	}
-	data := f.buf[:f.fill]
-	f.buf = make([]byte, sw.bufSize)
-	f.fill = 0
 	sw.tasks <- stayTask{f: f, data: data, op: opWrite}
 }
 

@@ -34,6 +34,10 @@ type Timing struct {
 	// retry transient I/O faults with bounded backoff (wall-clock
 	// only — the virtual clock never observes retries).
 	Retry *Retrier
+	// MemBW is the memory bandwidth (bytes/s) charged for codec
+	// encode/decode passes. Zero disables the charge (fixed-codec
+	// streams never pay it).
+	MemBW float64
 }
 
 func (t Timing) read(n int64, sid disksim.StreamID) {
@@ -45,6 +49,15 @@ func (t Timing) read(n int64, sid disksim.StreamID) {
 func (t Timing) writeSync(n int64, sid disksim.StreamID) {
 	if t.Clock != nil {
 		t.Clock.WriteSync(t.Device, n, sid)
+	}
+}
+
+// memPass charges one serial memory pass over n bytes — the codec's
+// decode (scanner) or encode (writer) cost under the MemBandwidth
+// model.
+func (t Timing) memPass(n int64) {
+	if t.Clock != nil && t.MemBW > 0 && n > 0 {
+		t.Clock.ComputeSerial(float64(n) / t.MemBW)
 	}
 }
 
@@ -62,12 +75,22 @@ type Scanner[T any] struct {
 	eof     bool
 	read    int64
 
-	// Read-ahead state: issued chunks not yet consumed, and how many
-	// bytes of the file have been covered by issued operations.
-	pending []*disksim.AsyncOp
-	issued  int64
-	depth   int
-	closed  bool
+	// Read-ahead state: issued chunks not yet consumed (with their
+	// sizes) and how many bytes of the file have been covered by
+	// issued operations. retired accumulates device bytes consumed but
+	// not yet attributed to an issued op; once it covers the head op's
+	// size, that op is retired (its completion waited on).
+	pending  []*disksim.AsyncOp
+	pendingN []int64
+	issued   int64
+	retired  int64
+	depth    int
+	closed   bool
+
+	// devSeen is the cumulative device-byte count observed from a
+	// decoding reader (deviceByter); device charges use the per-refill
+	// delta instead of the decoded record bytes.
+	devSeen int64
 }
 
 // NewScanner opens name on vol and streams its records. bufSize is
@@ -157,6 +180,7 @@ func (s *Scanner[T]) topUp() {
 			n = rem
 		}
 		s.pending = append(s.pending, s.timing.Clock.ReadAsync(s.timing.Device, n, s.sid))
+		s.pendingN = append(s.pendingN, n)
 		s.issued += n
 	}
 }
@@ -185,22 +209,44 @@ func (s *Scanner[T]) refill() error {
 		}
 	}
 	if s.fill > 0 {
-		if len(s.pending) > 0 {
-			// This chunk was covered by a read-ahead op: wait for its
-			// completion instead of issuing a blocking read.
-			op := s.pending[0]
-			s.pending = s.pending[1:]
-			s.timing.Clock.WaitUntil(s.timing.Clock.BgCompletion(op))
-			s.topUp()
-		} else {
-			s.timing.read(int64(s.fill), s.sid)
+		// Device bytes for this refill: the record bytes for raw and
+		// framed files, the compressed bytes a decoding reader actually
+		// consumed for delta files (the decoded bytes are then charged
+		// as a memory pass).
+		dev := int64(s.fill)
+		if db, ok := s.r.(deviceByter); ok {
+			s.timing.memPass(int64(s.fill))
+			dev = db.DeviceBytes() - s.devSeen
+			s.devSeen += dev
 		}
-		s.read += int64(s.fill)
+		if s.depth > 0 && s.timing.Clock != nil {
+			// Read-ahead: retire the issued ops this refill's device
+			// bytes complete, waiting for each retired op's completion
+			// instead of issuing a blocking read. A decoding refill may
+			// span a fraction of an op (or several); ops never issued
+			// past the payload are cancelled and refunded at Close.
+			s.retired += dev
+			waited := false
+			for len(s.pending) > 0 && s.pendingN[0] <= s.retired {
+				op := s.pending[0]
+				s.retired -= s.pendingN[0]
+				s.pending, s.pendingN = s.pending[1:], s.pendingN[1:]
+				s.timing.Clock.WaitUntil(s.timing.Clock.BgCompletion(op))
+				waited = true
+			}
+			if waited {
+				s.topUp()
+			}
+		} else {
+			s.timing.read(dev, s.sid)
+		}
+		s.read += dev
 	}
 	return nil
 }
 
-// BytesRead reports the bytes consumed from the file so far.
+// BytesRead reports the payload bytes consumed from the file so far —
+// the device's view, so compressed bytes for delta files.
 func (s *Scanner[T]) BytesRead() int64 { return s.read }
 
 // Size returns the underlying file's size in bytes.
@@ -218,7 +264,7 @@ func (s *Scanner[T]) Close() error {
 			s.timing.Clock.CancelAsync(op)
 		}
 	}
-	s.pending = nil
+	s.pending, s.pendingN = nil, nil
 	return s.r.Close()
 }
 
@@ -264,6 +310,9 @@ type Writer[T any] struct {
 	closed  bool
 	async   bool
 	lastOp  *disksim.AsyncOp
+	// devSeen mirrors Scanner.devSeen for encoding writers: cumulative
+	// device bytes observed from a deviceByter sink.
+	devSeen int64
 }
 
 // NewWriter creates name on vol and buffers records into it.
@@ -309,6 +358,8 @@ func (w *Writer[T]) SetAsync() { w.async = true }
 func (w *Writer[T]) LastOp() *disksim.AsyncOp { return w.lastOp }
 
 // Flush writes buffered records to the file, charging a device write.
+// An encoding sink (delta codec) is charged with its encoded bytes on
+// the device and the raw record bytes as a memory pass.
 func (w *Writer[T]) Flush() error {
 	if w.fill == 0 {
 		return nil
@@ -316,12 +367,18 @@ func (w *Writer[T]) Flush() error {
 	if _, err := w.w.Write(w.buf[:w.fill]); err != nil {
 		return fmt.Errorf("stream: writer flush: %w", err)
 	}
-	if w.async && w.timing.Clock != nil {
-		w.lastOp = w.timing.Clock.WriteAsync(w.timing.Device, int64(w.fill), w.sid)
-	} else {
-		w.timing.writeSync(int64(w.fill), w.sid)
+	dev := int64(w.fill)
+	if db, ok := w.w.(deviceByter); ok {
+		w.timing.memPass(int64(w.fill))
+		dev = db.DeviceBytes() - w.devSeen
+		w.devSeen += dev
 	}
-	w.written += int64(w.fill)
+	if w.async && w.timing.Clock != nil {
+		w.lastOp = w.timing.Clock.WriteAsync(w.timing.Device, dev, w.sid)
+	} else {
+		w.timing.writeSync(dev, w.sid)
+	}
+	w.written += dev
 	w.fill = 0
 	return nil
 }
@@ -329,7 +386,8 @@ func (w *Writer[T]) Flush() error {
 // Count returns the number of records appended so far.
 func (w *Writer[T]) Count() int64 { return w.count }
 
-// BytesWritten returns the bytes flushed to the file so far.
+// BytesWritten returns the bytes flushed to the file so far — the
+// device's view, so encoded bytes for delta files.
 func (w *Writer[T]) BytesWritten() int64 { return w.written }
 
 // Close flushes and publishes the file.

@@ -244,7 +244,7 @@ func (rt *Runtime) EnsureReverse() error {
 	defer sc.Close()
 	outs := make([]*stream.Writer[graph.Edge], rt.Parts.P())
 	for p := range outs {
-		w, err := stream.NewFramedEdgeWriter(rt.Vol, rt.RevEdgeFile(p), tm, rt.Opts.StreamBufSize)
+		w, err := stream.NewCodecFramedEdgeWriter(rt.Vol, rt.RevEdgeFile(p), tm, rt.Opts.StreamBufSize, rt.Codec)
 		if err != nil {
 			for _, o := range outs[:p] {
 				o.Abort()

@@ -742,6 +742,7 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 	tr.EmitCounters()
 
 	res := &Result{Levels: level, Parents: parent, Visited: visited}
+	rt.TranslateResult(res)
 	run.Visited = visited
 	rt.FinishMetrics(&run)
 	res.Metrics = run

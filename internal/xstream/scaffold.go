@@ -173,6 +173,12 @@ type Options struct {
 	// the in-memory reference.
 	DirectionAlpha int
 	DirectionBeta  int
+	// Codec selects the edge codec for the run's working files —
+	// partition splits, stay and reverse-stay rewrites, the reverse
+	// split. Empty takes the FASTBFS_CODEC environment variable, then
+	// the dataset's stored codec, then fixed; the resolution happens in
+	// NewRuntimeContext (see Runtime.Codec).
+	Codec graph.Codec
 }
 
 // SetDefaults fills unset fields with defaults.
@@ -218,6 +224,13 @@ func (o *Options) SetDefaults(engineName string) {
 	if o.Direction == "" {
 		o.Direction = DirectionTopDown
 	}
+	if o.Codec == "" {
+		if s := os.Getenv("FASTBFS_CODEC"); s != "" {
+			if c, err := graph.ParseCodec(s); err == nil {
+				o.Codec = c
+			}
+		}
+	}
 	if o.DirectionAlpha <= 0 {
 		o.DirectionAlpha = DefaultDirectionAlpha
 	}
@@ -255,6 +268,19 @@ type Runtime struct {
 	// engines build through MainTiming/AuxTiming shares it, so its
 	// counters are the run-wide retry/failure totals.
 	Retry *stream.Retrier
+
+	// Codec is the resolved working-file codec (never empty): Options.Codec
+	// when set, else the dataset's stored codec. Engines pass it to every
+	// edge-carrying working-file writer; readers sniff, so mixed inputs
+	// (raw dataset + delta stays) always stream correctly.
+	Codec graph.Codec
+
+	// Perm, non-nil iff the dataset was stored with degree reordering, maps
+	// between original and stored vertex labels. The runtime operates
+	// entirely in stored space — Opts.Root is remapped at construction —
+	// and results are translated back at the collection boundary, so
+	// callers never see stored labels.
+	Perm *graph.Permutation
 
 	BytesRead    int64
 	BytesWritten int64
@@ -387,6 +413,27 @@ func NewRuntimeContext(ctx context.Context, vol storage.Volume, graphName string
 	if _, err := ParseDirection(string(opts.Direction)); err != nil {
 		return nil, err
 	}
+	codec, err := graph.ParseCodec(string(opts.Codec))
+	if err != nil {
+		return nil, fmt.Errorf("xstream: %w", err)
+	}
+	if opts.Codec == "" {
+		codec = m.EdgeCodec()
+	}
+	// A reordered dataset's edges carry stored labels; load the stored
+	// permutation and move the root into stored space (validated above in
+	// the caller's original space). Results translate back on collection.
+	var perm *graph.Permutation
+	if m.Reordered {
+		if err := retry.Do("load perm "+graphName, func() error {
+			var e error
+			perm, e = graph.LoadPerm(vol, graphName, m.Vertices)
+			return e
+		}); err != nil {
+			return nil, err
+		}
+		opts.Root = perm.ToStored(opts.Root)
+	}
 	p := opts.Partitions
 	if p <= 0 {
 		p = graph.PartitionsForMemory(m.Vertices, PerVertexMemBytes, opts.MemoryBudget)
@@ -399,6 +446,7 @@ func NewRuntimeContext(ctx context.Context, vol storage.Volume, graphName string
 		return nil, err
 	}
 	rt := &Runtime{Vol: vol, Meta: m, Parts: parts, Opts: opts, ctx: ctx, Retry: retry,
+		Codec: codec, Perm: perm,
 		fileReady: make(map[string]*disksim.AsyncOp), wallStart: time.Now()}
 	if opts.Sim != nil {
 		if opts.Sim.MainDisk == nil {
@@ -439,7 +487,8 @@ func (rt *Runtime) MainTiming() stream.Timing {
 	if rt.Clock == nil {
 		return stream.Timing{Retry: rt.Retry}
 	}
-	return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.MainDisk, Retry: rt.Retry}
+	return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.MainDisk, Retry: rt.Retry,
+		MemBW: rt.Costs.MemBandwidth}
 }
 
 // AuxTiming returns the stream timing for the update/stay-out disk —
@@ -449,7 +498,8 @@ func (rt *Runtime) AuxTiming() stream.Timing {
 		return stream.Timing{Retry: rt.Retry}
 	}
 	if rt.Opts.Sim.AuxDisk != nil {
-		return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.AuxDisk, Retry: rt.Retry}
+		return stream.Timing{Clock: rt.Clock, Device: rt.Opts.Sim.AuxDisk, Retry: rt.Retry,
+			MemBW: rt.Costs.MemBandwidth}
 	}
 	return rt.MainTiming()
 }
@@ -581,7 +631,7 @@ func (rt *Runtime) Prepare() ([]int64, error) {
 	}
 	outs := make([]*stream.Writer[graph.Edge], rt.Parts.P())
 	for p := range outs {
-		w, err := stream.NewEdgeWriter(rt.Vol, rt.EdgeFile(p), tm, rt.Opts.StreamBufSize)
+		w, err := stream.NewCodecEdgeWriter(rt.Vol, rt.EdgeFile(p), tm, rt.Opts.StreamBufSize, rt.Codec)
 		if err != nil {
 			for _, o := range outs[:p] {
 				o.Abort()
@@ -779,5 +829,18 @@ func (rt *Runtime) CollectResultFrom(nameFor func(p int) string) (*Result, error
 			}
 		}
 	}
+	rt.TranslateResult(res)
 	return res, nil
+}
+
+// TranslateResult maps a result computed in the stored label space of a
+// reordered dataset back to original labels (no-op otherwise). Engines
+// that assemble a Result without CollectResult — the in-memory fast
+// path — must call it before returning.
+func (rt *Runtime) TranslateResult(res *Result) {
+	if rt.Perm == nil {
+		return
+	}
+	res.Levels = graph.ReindexByPerm(rt.Perm, res.Levels)
+	res.Parents = rt.Perm.TranslateParents(res.Parents)
 }

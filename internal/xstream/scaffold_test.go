@@ -66,6 +66,18 @@ func TestPrepareSplitsEdgesBySource(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Working files carry the resolved codec (FASTBFS_CODEC may have
+		// forced delta), so deframe and decode before interpreting raw
+		// records.
+		if rt.Codec == graph.CodecDelta {
+			magic, payload, err := graph.DeframeAllMagic(b)
+			if err != nil || magic != graph.FrameMagicDelta {
+				t.Fatalf("partition %d is not an FBD1 stream (magic %#x): %v", p, magic, err)
+			}
+			if b, err = graph.DecodeDeltaStream(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
 		edges, err := graph.BytesToEdges(b)
 		if err != nil {
 			t.Fatal(err)
