@@ -10,6 +10,10 @@
 //	         [-sim] [-simscale 2048] [-residency-budget 64M]
 //	         [-max-inflight 4] [-max-queue 8] [-cache 64]
 //	         [-batch-size 32] [-batch-wait 2ms] [-config run.conf]
+//	         [-shed] [-shed-target 25ms] [-shed-interval 100ms]
+//	         [-breaker-threshold 5] [-breaker-backoff 500ms]
+//	         [-breaker-max-backoff 8s] [-cache-ttl 0]
+//	         [-priority-header X-Fastbfs-Priority] [-panic-root 0]
 //	         [-drain-timeout 30s] [-debugaddr localhost:6060]
 //	         [-tracefile serve.jsonl] [-slow-query 500ms]
 //
@@ -23,17 +27,35 @@
 // -ssd, -residency-budget); its batch_size/batch_wait_ms keys supply
 // batch defaults that explicit -batch-size/-batch-wait flags override.
 //
+// Overload resilience (DESIGN.md §15): -shed turns on deadline-aware
+// admission and CoDel-style queue aging (shed queries get 429 +
+// Retry-After; default from FASTBFS_SHED), -breaker-threshold tunes the
+// per-graph circuit breaker (0 disables; default from
+// FASTBFS_BREAKER_THRESHOLD), -cache-ttl bounds result-cache freshness
+// (expired entries still answer allow_stale queries in degraded mode),
+// -priority-header names the header carrying the admission class
+// (FASTBFS_PRIORITY_HEADER), and -panic-root poisons one root with a
+// mid-scatter panic (FASTBFS_PANIC_ROOT) — the chaos hook CI uses to
+// prove panic isolation. The runconfig keys shed, shed_target_ms,
+// shed_interval_ms, breaker_threshold, breaker_backoff_ms,
+// breaker_max_backoff_ms, cache_ttl_ms and priority_header supply
+// defaults that explicit flags override (flag > config > env).
+//
 // Endpoints:
 //
 //	POST /query   {"algorithm":"bfs|msbfs|sssp","engine":"fastbfs|xstream|graphchi",
 //	               "root":1,"roots":[..],"max_iterations":0,"timeout_ms":0,
-//	               "no_cache":false,"include_values":false}
+//	               "no_cache":false,"priority":"interactive|batch",
+//	               "allow_stale":false,"include_values":false}
 //	GET  /healthz liveness, uptime, build info plus live service counters
+//	GET  /readyz  readiness: not draining, breaker closed, queue sane
 //	GET  /metrics serve counters + latency histograms, Prometheus text
 //
-// Saturated admission returns 429, a blown server-side deadline 504, a
-// malformed query 400. SIGINT/SIGTERM drain gracefully: the listener
-// stops accepting, in-flight queries run to completion (bounded by
+// Saturated admission and overload shedding return 429 (with
+// Retry-After), an open circuit breaker 503 (with Retry-After), a blown
+// server-side deadline 504, a malformed query 400, an isolated query
+// panic 500. SIGINT/SIGTERM drain gracefully: the listener stops
+// accepting, in-flight queries run to completion (bounded by
 // -drain-timeout), then the process exits.
 //
 // Every query gets a trace ID (client-supplied X-Request-Id or minted),
@@ -95,6 +117,22 @@ func envDuration(name string, def time.Duration) time.Duration {
 	return def
 }
 
+func envBool(name string, def bool) bool {
+	if v := os.Getenv(name); v != "" {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+	}
+	return def
+}
+
+func envString(name, def string) string {
+	if v := os.Getenv(name); v != "" {
+		return v
+	}
+	return def
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:8090", "address to serve the query API on")
 	dir := flag.String("dir", ".", "directory holding the stored graph")
@@ -113,6 +151,24 @@ func main() {
 		"distinct roots coalesced per shared BFS run (0 disables batching; max 32)")
 	batchWait := flag.Duration("batch-wait", envDuration("FASTBFS_BATCH_WAIT", 2*time.Millisecond),
 		"how long a forming batch waits for companion queries")
+	shed := flag.Bool("shed", envBool("FASTBFS_SHED", false),
+		"enable deadline-aware admission and CoDel-style queue shedding (429 + Retry-After)")
+	shedTarget := flag.Duration("shed-target", envDuration("FASTBFS_SHED_TARGET", 25*time.Millisecond),
+		"acceptable queue wait before aging sheds begin")
+	shedInterval := flag.Duration("shed-interval", envDuration("FASTBFS_SHED_INTERVAL", 100*time.Millisecond),
+		"how long queue wait must stay above -shed-target before shedding")
+	breakerThreshold := flag.Int("breaker-threshold", envInt("FASTBFS_BREAKER_THRESHOLD", 5),
+		"consecutive I/O failures tripping the circuit breaker (0 disables)")
+	breakerBackoff := flag.Duration("breaker-backoff", envDuration("FASTBFS_BREAKER_BACKOFF", 500*time.Millisecond),
+		"circuit breaker's initial open interval before the half-open probe")
+	breakerMaxBackoff := flag.Duration("breaker-max-backoff", envDuration("FASTBFS_BREAKER_MAX_BACKOFF", 8*time.Second),
+		"cap on the breaker's doubled backoff after failed probes")
+	cacheTTL := flag.Duration("cache-ttl", envDuration("FASTBFS_CACHE_TTL", 0),
+		"result-cache freshness bound (0 = never expire; expired entries still serve allow_stale)")
+	priorityHeader := flag.String("priority-header", envString("FASTBFS_PRIORITY_HEADER", "X-Fastbfs-Priority"),
+		"HTTP header carrying the admission class (interactive/batch)")
+	panicRoot := flag.Int64("panic-root", int64(envInt("FASTBFS_PANIC_ROOT", 0)),
+		"chaos: panic mid-scatter for queries on this root (0 disables)")
 	configPath := flag.String("config", "", "runtime-settings file supplying the engine options (replaces -mem/-threads/-workers/-sim/-simscale/-ssd/-residency-budget)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	debugAddr := flag.String("debugaddr", "", "serve pprof, expvar counters and a stats page on this address")
@@ -171,6 +227,30 @@ func main() {
 		if !setFlags["batch-wait"] && rc.BatchWaitMillis > 0 {
 			*batchWait = time.Duration(rc.BatchWaitMillis) * time.Millisecond
 		}
+		if !setFlags["shed"] && rc.Shed >= 0 {
+			*shed = rc.Shed != 0
+		}
+		if !setFlags["shed-target"] && rc.ShedTargetMillis > 0 {
+			*shedTarget = time.Duration(rc.ShedTargetMillis) * time.Millisecond
+		}
+		if !setFlags["shed-interval"] && rc.ShedIntervalMillis > 0 {
+			*shedInterval = time.Duration(rc.ShedIntervalMillis) * time.Millisecond
+		}
+		if !setFlags["breaker-threshold"] && rc.BreakerThreshold >= 0 {
+			*breakerThreshold = rc.BreakerThreshold
+		}
+		if !setFlags["breaker-backoff"] && rc.BreakerBackoffMillis > 0 {
+			*breakerBackoff = time.Duration(rc.BreakerBackoffMillis) * time.Millisecond
+		}
+		if !setFlags["breaker-max-backoff"] && rc.BreakerMaxBackoffMillis > 0 {
+			*breakerMaxBackoff = time.Duration(rc.BreakerMaxBackoffMillis) * time.Millisecond
+		}
+		if !setFlags["cache-ttl"] && rc.CacheTTLMillis >= 0 {
+			*cacheTTL = time.Duration(rc.CacheTTLMillis) * time.Millisecond
+		}
+		if !setFlags["priority-header"] && rc.PriorityHeader != "" {
+			*priorityHeader = rc.PriorityHeader
+		}
 	}
 
 	var sinks []obs.Sink
@@ -184,13 +264,27 @@ func main() {
 	tr := obs.New(sinks...)
 	defer tr.Close()
 	cfg := serve.Config{
-		MaxInFlight:  *maxInFlight,
-		MaxQueue:     *maxQueue,
-		CacheEntries: *cacheEntries,
-		BatchSize:    *batchSize,
-		BatchWait:    *batchWait,
-		Base:         base,
-		Tracer:       tr,
+		MaxInFlight:       *maxInFlight,
+		MaxQueue:          *maxQueue,
+		CacheEntries:      *cacheEntries,
+		BatchSize:         *batchSize,
+		BatchWait:         *batchWait,
+		Shed:              *shed,
+		ShedTarget:        *shedTarget,
+		ShedInterval:      *shedInterval,
+		CacheTTL:          *cacheTTL,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerBackoff:    *breakerBackoff,
+		BreakerMaxBackoff: *breakerMaxBackoff,
+		PriorityHeader:    *priorityHeader,
+		PanicRoot:         *panicRoot,
+		Base:              base,
+		Tracer:            tr,
+	}
+	if *breakerThreshold == 0 {
+		// The flag's 0 means "breaker off"; the serve layer spells that -1
+		// (its 0 selects the default threshold).
+		cfg.BreakerThreshold = -1
 	}
 	if *slowQuery > 0 {
 		cfg.SlowQueryThreshold = *slowQuery
@@ -303,6 +397,14 @@ func serveDebug(addr string, tr *obs.Tracer, svc *serve.GraphService) error {
 		fmt.Fprintf(w, "%-22s %d\n", "batch_evicted", st.BatchEvicted)
 		fmt.Fprintf(w, "%-22s %d\n", "device_bytes", st.DeviceBytes)
 		fmt.Fprintf(w, "%-22s %d\n", "batch_bytes_saved", st.BatchBytesSaved)
+		fmt.Fprintf(w, "%-22s %d\n", "shed", st.Shed)
+		fmt.Fprintf(w, "%-22s %d\n", "shed_deadline", st.ShedDeadline)
+		fmt.Fprintf(w, "%-22s %d\n", "shed_queue", st.ShedQueue)
+		fmt.Fprintf(w, "%-22s %d\n", "panics", st.Panics)
+		fmt.Fprintf(w, "%-22s %d\n", "stale_served", st.StaleServed)
+		fmt.Fprintf(w, "%-22s %d\n", "breaker_trips", st.BreakerTrips)
+		fmt.Fprintf(w, "%-22s %d\n", "breaker_fast_fails", st.BreakerFastFails)
+		fmt.Fprintf(w, "%-22s %d\n", "breaker_open", st.BreakerOpen)
 		fmt.Fprintf(w, "%-22s %.1f\n", "uptime_s", svc.Uptime().Seconds())
 		tel := svc.Telemetry()
 		if len(tel.Histograms) > 0 {

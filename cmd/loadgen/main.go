@@ -1,21 +1,27 @@
 // Command loadgen drives an open-loop query load against a running
-// fastbfsd and reports QPS and client-side latency percentiles per
-// traffic mix, writing a machine-readable bench document
-// (fastbfs/bench-serve/v2) for the repo's perf trajectory.
+// fastbfsd and reports QPS, goodput and client-side latency percentiles
+// per traffic mix, writing a machine-readable bench document
+// (fastbfs/bench-serve/v3) for the repo's perf trajectory.
 //
 // Usage:
 //
 //	loadgen -addr http://localhost:8090 [-qps 200] [-duration 10s]
-//	        [-mix bfs-hot,bfs-cold,mixed] [-seed 1] [-out BENCH_serve_v2.json]
+//	        [-mix bfs-hot,bfs-cold,mixed] [-seed 1] [-out BENCH_serve_v3.json]
 //	        [-timeout 30s] [-max-outstanding 256]
-//	        [-min-qps 0] [-check-metrics]
+//	        [-min-qps 0] [-min-goodput 0] [-check-metrics]
 //
 // Mixes run sequentially against the same daemon (a warm-cache mix run
 // after a cold one inherits the cache the cold one populated; order the
 // -mix list accordingly). -min-qps makes the run a gate: if any mix
 // achieves less, the exit status is 1 — this is what CI's smoke cell
-// uses. -check-metrics scrapes and validates GET /metrics after the
+// uses. -min-goodput gates the same way on goodput (answers inside the
+// mix's deadline budget per second) — the overload chaos cell's figure
+// of merit. -check-metrics scrapes and validates GET /metrics after the
 // load, so the exposition format is covered by a live scrape too.
+//
+// The overload mix (tight deadlines, allow_stale) additionally reports
+// sheds, stale answers, rejection latency and the client-observed
+// Retry-After distribution.
 package main
 
 import (
@@ -42,6 +48,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 	maxOut := flag.Int("max-outstanding", 256, "cap on in-flight requests; arrivals beyond it are dropped")
 	minQPS := flag.Float64("min-qps", 0, "fail (exit 1) if any mix achieves less than this")
+	minGoodput := flag.Float64("min-goodput", 0, "fail (exit 1) if any mix's goodput (on-deadline answers/sec) is less than this")
 	checkMetrics := flag.Bool("check-metrics", false, "scrape and validate /metrics after the load")
 	flag.Parse()
 
@@ -87,20 +94,37 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"loadgen: %-8s %7.1f qps (target %g)  ok=%d busy=%d other=%d  p50=%.2fms p90=%.2fms p99=%.2fms  cache_hits=%d dropped=%d\n",
-			mix.Name, res.AchievedQPS, res.TargetQPS,
-			res.Outcomes["ok"], res.Outcomes["busy"], completedOther(res),
+			"loadgen: %-8s %7.1f qps (target %g)  goodput=%.1f/s  ok=%d stale=%d shed=%d busy=%d other=%d  p50=%.2fms p90=%.2fms p99=%.2fms  cache_hits=%d dropped=%d\n",
+			mix.Name, res.AchievedQPS, res.TargetQPS, res.GoodputQPS,
+			res.Outcomes["ok"], res.Outcomes["stale"], res.Outcomes["shed"], res.Outcomes["busy"], completedOther(res),
 			res.Latency.P50*1e3, res.Latency.P90*1e3, res.Latency.P99*1e3,
 			res.CacheHits, res.Dropped)
+		if res.RejectLatency.Count > 0 {
+			fmt.Fprintf(os.Stderr,
+				"loadgen: %-8s rejects: %d at p50=%.2fms p99=%.2fms  retry-after p50=%.0fs p99=%.0fs (%d hinted)\n",
+				mix.Name, res.RejectLatency.Count,
+				res.RejectLatency.P50*1e3, res.RejectLatency.P99*1e3,
+				res.RetryAfter.P50, res.RetryAfter.P99, res.RetryAfter.Count)
+		}
 		if sv := res.Server; sv != nil {
 			fmt.Fprintf(os.Stderr,
 				"loadgen: %-8s server: completed=%d batch_queries=%d batch_runs=%d coalesced=%d solo=%d device_bytes/query=%.0f bytes_saved=%d\n",
 				mix.Name, sv.Completed, sv.BatchQueries, sv.BatchRuns, sv.BatchCoalesced,
 				sv.BatchSolo, sv.DeviceBytesPerQuery, sv.BatchBytesSaved)
+			if sv.Shed+sv.Panics+sv.StaleServed+sv.BreakerTrips > 0 {
+				fmt.Fprintf(os.Stderr,
+					"loadgen: %-8s server: shed=%d (deadline=%d queue=%d) stale_served=%d panics=%d breaker_trips=%d\n",
+					mix.Name, sv.Shed, sv.ShedDeadline, sv.ShedQueue, sv.StaleServed, sv.Panics, sv.BreakerTrips)
+			}
 		}
 		if *minQPS > 0 && res.AchievedQPS < *minQPS {
 			fmt.Fprintf(os.Stderr, "loadgen: mix %s achieved %.1f qps, below the -min-qps floor %g\n",
 				mix.Name, res.AchievedQPS, *minQPS)
+			belowFloor = true
+		}
+		if *minGoodput > 0 && res.GoodputQPS < *minGoodput {
+			fmt.Fprintf(os.Stderr, "loadgen: mix %s goodput %.1f/s, below the -min-goodput floor %g\n",
+				mix.Name, res.GoodputQPS, *minGoodput)
 			belowFloor = true
 		}
 		bench.Results = append(bench.Results, *res)
@@ -139,12 +163,14 @@ func main() {
 	}
 }
 
-// completedOther counts completions that were neither ok nor busy —
+// completedOther counts completions outside the headline buckets —
 // timeouts, network errors, unexpected statuses.
 func completedOther(r *loadgen.Result) uint64 {
 	var n uint64
 	for k, v := range r.Outcomes {
-		if k != "ok" && k != "busy" {
+		switch k {
+		case "ok", "stale", "shed", "busy":
+		default:
 			n += v
 		}
 	}

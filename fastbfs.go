@@ -91,6 +91,16 @@ var (
 	// ErrIOFailed: an I/O operation failed past the transient-retry
 	// budget, or failed permanently.
 	ErrIOFailed = errs.ErrIOFailed
+	// ErrDeadlineHopeless: overload control shed the query at admission —
+	// its deadline could not survive the predicted queue wait plus
+	// execution time (HTTP 429 + Retry-After).
+	ErrDeadlineHopeless = errs.ErrDeadlineHopeless
+	// ErrInternal: the query was lost to a recovered panic, isolated to
+	// exactly that query (HTTP 500).
+	ErrInternal = errs.ErrInternal
+	// ErrUnavailable: the service's circuit breaker is open and failing
+	// fast while the volume backs off (HTTP 503 + Retry-After).
+	ErrUnavailable = errs.ErrUnavailable
 )
 
 // Core graph types.

@@ -229,6 +229,14 @@ func RunContext(ctx context.Context, vol storage.Volume, graphName string, prog 
 				abortShuf()
 				return nil, err
 			}
+			if rt.Opts.FaultHook != nil {
+				// The chaos seam the streaming engines expose through their
+				// scatter pools; the algo engine scatters serially, so the
+				// hook fires here. A panicking hook unwinds through the
+				// deferred rt.Cleanup (working files removed) and is
+				// recovered by the serving layer's per-query isolation.
+				rt.Opts.FaultHook()
+			}
 			vals, err := loadVals(p)
 			if err != nil {
 				abortShuf()

@@ -53,4 +53,23 @@ var (
 	// run itself was stopped. Individual queries never see it directly:
 	// each reports its own ErrCancelled with its own context's cause.
 	ErrBatchAbandoned = errors.New("batch abandoned")
+
+	// ErrDeadlineHopeless reports that deadline-aware admission refused a
+	// query at Submit because its context deadline cannot survive the
+	// predicted queue wait plus execution time (or it aged out of the
+	// wait queue CoDel-style). Unlike ErrCancelled the query never ran
+	// and never burned an execution slot; the client should retry after
+	// the Retry-After hint, with a looser deadline, or with allow_stale.
+	ErrDeadlineHopeless = errors.New("deadline hopeless")
+
+	// ErrInternal reports that a query died on a server-side defect — a
+	// panic in an engine or serving goroutine, recovered and isolated to
+	// that one query. The daemon stays up; the stack is in the log.
+	ErrInternal = errors.New("internal error")
+
+	// ErrUnavailable reports that the graph's circuit breaker is open:
+	// recent queries failed consecutively on ErrIOFailed/ErrCorrupted,
+	// so the service fails fast instead of grinding a sick volume. The
+	// breaker half-opens after a backoff and probes with one real query.
+	ErrUnavailable = errors.New("graph unavailable")
 )

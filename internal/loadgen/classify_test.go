@@ -1,0 +1,48 @@
+package loadgen
+
+import "testing"
+
+// The outcome buckets mirror the server's taxonomy; goodput and the
+// reject/retry-after distributions are built from them, so the mapping
+// is pinned here.
+func TestClassifyOutcomes(t *testing.T) {
+	cases := []struct {
+		status int
+		reason string
+		stale  bool
+		want   string
+	}{
+		{200, "", false, "ok"},
+		{200, "", true, "stale"},
+		{429, "shed", false, "shed"},
+		{429, "busy", false, "busy"},
+		{429, "", false, "busy"},
+		{503, "breaker_open", false, "breaker_open"},
+		{503, "closed", false, "unavailable"},
+		{500, "panic", false, "panic"},
+		{500, "io_failed", false, "http_500"},
+		{504, "", false, "timeout"},
+		{400, "", false, "bad_request"},
+		{418, "", false, "http_418"},
+	}
+	for _, c := range cases {
+		if got := classify(c.status, c.reason, c.stale); got != c.want {
+			t.Errorf("classify(%d, %q, %v) = %q, want %q", c.status, c.reason, c.stale, got, c.want)
+		}
+	}
+	for _, o := range []string{"ok", "stale"} {
+		if !isSuccess(o) || isReject(o) {
+			t.Errorf("%q must be a success and not a reject", o)
+		}
+	}
+	for _, o := range []string{"busy", "shed", "unavailable", "breaker_open"} {
+		if isSuccess(o) || !isReject(o) {
+			t.Errorf("%q must be a reject and not a success", o)
+		}
+	}
+	for _, o := range []string{"timeout", "panic", "http_500", "bad_request"} {
+		if isSuccess(o) || isReject(o) {
+			t.Errorf("%q must be neither success nor reject", o)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,8 +37,11 @@ import (
 )
 
 // Schema identifies the bench JSON this package writes. v2 added the
-// server-side counter deltas (Result.Server) and the bfs-distinct mix.
-const Schema = "fastbfs/bench-serve/v2"
+// server-side counter deltas (Result.Server) and the bfs-distinct mix;
+// v3 adds per-mix deadlines, goodput (on-deadline successes/sec), the
+// overload mix, rejection latency and the client-observed Retry-After
+// distribution.
+const Schema = "fastbfs/bench-serve/v3"
 
 // Mix describes one traffic shape: the algorithm blend and how root
 // keys are drawn, which is what decides the cache-hit rate.
@@ -63,6 +67,17 @@ type Mix struct {
 	Distinct bool `json:"distinct,omitempty"`
 	// Engine pins the executing engine ("" = server default).
 	Engine string `json:"engine,omitempty"`
+	// TimeoutMs sets a server-side deadline per query and doubles as the
+	// goodput budget: an ok (or stale) answer within TimeoutMs counts
+	// toward goodput, everything else is wasted work. 0 means no
+	// deadline and every success counts.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// AllowStale opts queries into degraded-mode answers from expired
+	// cache entries while the server sheds or its breaker is open.
+	AllowStale bool `json:"allow_stale,omitempty"`
+	// Priority is the admission class sent with every query
+	// ("interactive"/"batch"; empty = server default).
+	Priority string `json:"priority,omitempty"`
 }
 
 // Mixes are the named presets accepted by ParseMix (and cmd/loadgen
@@ -75,6 +90,13 @@ var Mixes = []Mix{
 	// come from coalescing concurrent queries into shared runs.
 	{Name: "bfs-distinct", BFS: 1, Distinct: true},
 	{Name: "mixed", BFS: 3, MSBFS: 1, SSSP: 1, HotFraction: 0.5, HotSetSize: 16},
+	// overload is the resilience benchmark (DESIGN.md §15): all-BFS with
+	// a tight per-query deadline and stale-answer opt-in, offered at a
+	// rate far past capacity (cmd/loadgen sets QPS). Goodput — answers
+	// inside the deadline per second — is the figure of merit; with
+	// shedding on, the server refuses doomed queries cheaply instead of
+	// burning slots on work whose deadline died in the queue.
+	{Name: "overload", BFS: 1, HotFraction: 0.5, HotSetSize: 8, TimeoutMs: 250, AllowStale: true},
 }
 
 // ParseMix resolves a preset name.
@@ -142,9 +164,24 @@ type Result struct {
 	Outcomes    map[string]uint64 `json:"outcomes"`
 	// CacheHits counts 200s whose response declared cached=true.
 	CacheHits uint64 `json:"cache_hits"`
+	// StaleServed counts 200s marked stale — degraded-mode answers.
+	StaleServed uint64 `json:"stale_served,omitempty"`
+	// OnDeadline counts successful answers (ok or stale) that arrived
+	// within the mix's TimeoutMs budget; with no budget every success
+	// counts. GoodputQPS = OnDeadline / DurationS — the overload figure
+	// of merit.
+	OnDeadline uint64  `json:"on_deadline"`
+	GoodputQPS float64 `json:"goodput_qps"`
 	// Latency aggregates ok responses only; errors are cheap and would
 	// flatter the percentiles.
 	Latency Percentiles `json:"latency_s"`
+	// RejectLatency aggregates 429/503 rejections — how fast the server
+	// says no, which is the point of shedding (the chaos gate requires
+	// p99 under 5ms).
+	RejectLatency Percentiles `json:"reject_latency_s,omitempty"`
+	// RetryAfter is the client-observed distribution of Retry-After
+	// header values (seconds) across 429/503 responses.
+	RetryAfter Percentiles `json:"retry_after_s,omitempty"`
 	// Server carries the server-side counter deltas over the run,
 	// scraped from /healthz before and after — how many engine runs the
 	// queries cost and how many device bytes moved, which client-side
@@ -164,6 +201,12 @@ type ServerStats struct {
 	BatchEvicted    int64 `json:"batch_evicted"`
 	BatchBytesSaved int64 `json:"batch_bytes_saved"`
 	DeviceBytes     int64 `json:"device_bytes"`
+	Shed            int64 `json:"shed"`
+	ShedDeadline    int64 `json:"shed_deadline"`
+	ShedQueue       int64 `json:"shed_queue"`
+	Panics          int64 `json:"panics"`
+	StaleServed     int64 `json:"stale_served"`
+	BreakerTrips    int64 `json:"breaker_trips"`
 }
 
 // ServerDelta is the change in ServerStats across one mix's run, plus
@@ -190,10 +233,16 @@ func delta(before, after ServerStats) ServerStats {
 		BatchEvicted:    after.BatchEvicted - before.BatchEvicted,
 		BatchBytesSaved: after.BatchBytesSaved - before.BatchBytesSaved,
 		DeviceBytes:     after.DeviceBytes - before.DeviceBytes,
+		Shed:            after.Shed - before.Shed,
+		ShedDeadline:    after.ShedDeadline - before.ShedDeadline,
+		ShedQueue:       after.ShedQueue - before.ShedQueue,
+		Panics:          after.Panics - before.Panics,
+		StaleServed:     after.StaleServed - before.StaleServed,
+		BreakerTrips:    after.BreakerTrips - before.BreakerTrips,
 	}
 }
 
-// Bench is the BENCH_serve_v2.json document: one run of several mixes
+// Bench is the BENCH_serve_v3.json document: one run of several mixes
 // against one daemon.
 type Bench struct {
 	Schema   string   `json:"schema"`
@@ -246,11 +295,14 @@ func Discover(ctx context.Context, client *http.Client, addr string) (Health, er
 // query is the request body sent to POST /query (mirrors serve's
 // httpQuery; loadgen deliberately speaks only the wire protocol).
 type query struct {
-	Algorithm string   `json:"algorithm"`
-	Engine    string   `json:"engine,omitempty"`
-	Root      uint32   `json:"root,omitempty"`
-	Roots     []uint32 `json:"roots,omitempty"`
-	NoCache   bool     `json:"no_cache,omitempty"`
+	Algorithm  string   `json:"algorithm"`
+	Engine     string   `json:"engine,omitempty"`
+	Root       uint32   `json:"root,omitempty"`
+	Roots      []uint32 `json:"roots,omitempty"`
+	NoCache    bool     `json:"no_cache,omitempty"`
+	TimeoutMs  int      `json:"timeout_ms,omitempty"`
+	AllowStale bool     `json:"allow_stale,omitempty"`
+	Priority   string   `json:"priority,omitempty"`
 }
 
 // distinctStride picks the step of the Distinct root walk: Knuth's
@@ -302,7 +354,8 @@ func nextQuery(rng *rand.Rand, mix Mix, vertices uint64, seq *uint64) query {
 		}
 		return uint32(rng.Int63n(int64(vertices)))
 	}
-	q := query{Algorithm: algo, Engine: mix.Engine, NoCache: mix.NoCache}
+	q := query{Algorithm: algo, Engine: mix.Engine, NoCache: mix.NoCache,
+		TimeoutMs: mix.TimeoutMs, AllowStale: mix.AllowStale, Priority: mix.Priority}
 	if algo == "msbfs" {
 		for i := 0; i < 4; i++ {
 			q.Roots = append(q.Roots, root())
@@ -313,22 +366,50 @@ func nextQuery(rng *rand.Rand, mix Mix, vertices uint64, seq *uint64) query {
 	return q
 }
 
-// classify maps a response to an outcome bucket, mirroring the server's
-// outcome taxonomy so the two sides can be joined in analysis.
-func classify(status int) string {
+// classify maps a response (status, error reason, staleness) to an
+// outcome bucket, mirroring the server's outcome taxonomy so the two
+// sides can be joined in analysis. The reason field splits the 429s
+// into shed vs busy, the 503s into breaker_open vs unavailable, and
+// marks panic-500s; a stale 200 becomes "stale".
+func classify(status int, reason string, stale bool) string {
 	switch status {
 	case http.StatusOK:
+		if stale {
+			return "stale"
+		}
 		return "ok"
 	case http.StatusTooManyRequests:
+		if reason == "shed" {
+			return "shed"
+		}
 		return "busy"
 	case http.StatusGatewayTimeout:
 		return "timeout"
 	case http.StatusServiceUnavailable:
+		if reason == "breaker_open" {
+			return "breaker_open"
+		}
 		return "unavailable"
 	case http.StatusBadRequest:
 		return "bad_request"
+	case http.StatusInternalServerError:
+		if reason == "panic" {
+			return "panic"
+		}
 	}
 	return fmt.Sprintf("http_%d", status)
+}
+
+// isSuccess reports whether an outcome bucket carried an answer.
+func isSuccess(outcome string) bool { return outcome == "ok" || outcome == "stale" }
+
+// isReject reports a fast refusal (429/503 family).
+func isReject(outcome string) bool {
+	switch outcome {
+	case "busy", "shed", "unavailable", "breaker_open":
+		return true
+	}
+	return false
 }
 
 // Run generates cfg.Duration of open-loop arrivals and returns the
@@ -363,20 +444,37 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Seed:      cfg.Seed,
 		Outcomes:  make(map[string]uint64),
 	}
+	deadlineBudget := time.Duration(cfg.Mix.TimeoutMs) * time.Millisecond
 	var (
 		wg          sync.WaitGroup
 		outstanding atomic.Int64
 		completed   atomic.Uint64
 		cacheHits   atomic.Uint64
+		staleServed atomic.Uint64
+		onDeadline  atomic.Uint64
 		mu          sync.Mutex // guards res.Outcomes
 		hist        = obs.NewHistogram("client_e2e_seconds", nil)
+		rejectHist  = obs.NewHistogram("client_reject_seconds", nil)
+		retryHist   = obs.NewHistogram("client_retry_after_seconds", nil)
 	)
-	record := func(outcome string, d time.Duration, cached bool) {
+	record := func(outcome string, d time.Duration, cached bool, retryAfter time.Duration) {
 		completed.Add(1)
-		if outcome == "ok" {
+		if isSuccess(outcome) {
 			hist.Observe(d)
 			if cached {
 				cacheHits.Add(1)
+			}
+			if outcome == "stale" {
+				staleServed.Add(1)
+			}
+			if deadlineBudget <= 0 || d <= deadlineBudget {
+				onDeadline.Add(1)
+			}
+		}
+		if isReject(outcome) {
+			rejectHist.Observe(d)
+			if retryAfter > 0 {
+				retryHist.Observe(retryAfter)
 			}
 		}
 		mu.Lock()
@@ -390,22 +488,30 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		start := time.Now()
 		req, err := http.NewRequest("POST", cfg.Addr+"/query", bytes.NewReader(body))
 		if err != nil {
-			record("net_error", 0, false)
+			record("net_error", 0, false, 0)
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := client.Do(req)
 		if err != nil {
-			record("net_error", time.Since(start), false)
+			record("net_error", time.Since(start), false, 0)
 			return
 		}
 		var hr struct {
-			Cached bool `json:"cached"`
+			Cached bool   `json:"cached"`
+			Stale  bool   `json:"stale"`
+			Reason string `json:"reason"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&hr)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		record(classify(resp.StatusCode), time.Since(start), hr.Cached)
+		var retryAfter time.Duration
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		record(classify(resp.StatusCode, hr.Reason, hr.Stale), time.Since(start), hr.Cached, retryAfter)
 	}
 
 	// The arrival loop: one goroutine owns the rng, the Distinct
@@ -448,17 +554,28 @@ arrivals:
 		res.AchievedQPS = float64(completed.Load()) / res.DurationS
 	}
 	res.CacheHits = cacheHits.Load()
-	s := hist.Snapshot()
-	res.Latency = Percentiles{
-		P50:   s.Quantile(0.50).Seconds(),
-		P90:   s.Quantile(0.90).Seconds(),
-		P99:   s.Quantile(0.99).Seconds(),
-		Max:   s.Max.Seconds(),
-		Count: s.Count,
+	res.StaleServed = staleServed.Load()
+	res.OnDeadline = onDeadline.Load()
+	if res.DurationS > 0 {
+		res.GoodputQPS = float64(res.OnDeadline) / res.DurationS
 	}
-	if s.Count > 0 {
-		res.Latency.Mean = s.Sum.Seconds() / float64(s.Count)
+	percentiles := func(h *obs.Histogram) Percentiles {
+		s := h.Snapshot()
+		p := Percentiles{
+			P50:   s.Quantile(0.50).Seconds(),
+			P90:   s.Quantile(0.90).Seconds(),
+			P99:   s.Quantile(0.99).Seconds(),
+			Max:   s.Max.Seconds(),
+			Count: s.Count,
+		}
+		if s.Count > 0 {
+			p.Mean = s.Sum.Seconds() / float64(s.Count)
+		}
+		return p
 	}
+	res.Latency = percentiles(hist)
+	res.RejectLatency = percentiles(rejectHist)
+	res.RetryAfter = percentiles(retryHist)
 	// Scrape the server counters again and attach the delta. A failed
 	// scrape (server shut down between runs, test stub without stats)
 	// degrades to a client-only result rather than failing the run.

@@ -124,7 +124,7 @@ func TestRunAgainstLiveService(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != "fastbfs/bench-serve/v2" || len(back.Results) != 2 {
+	if back.Schema != "fastbfs/bench-serve/v3" || len(back.Results) != 2 {
 		t.Fatalf("bench round-trip: %+v", back)
 	}
 	// WriteBench sorts by mix name for diff stability.

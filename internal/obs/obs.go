@@ -521,6 +521,21 @@ const (
 	CtrServeSlow        = "serve_slow_queries" // queries past the slow-query threshold
 )
 
+// Counter names for the service's overload-resilience layer (DESIGN.md
+// §15): deadline-aware shedding, panic isolation, the per-graph circuit
+// breaker and degraded-mode (stale) answers.
+const (
+	CtrServeShed         = "serve_shed"           // queries shed by overload control (all causes)
+	CtrServeShedDeadline = "serve_shed_deadline"  // shed at Submit: deadline < predicted wait + exec
+	CtrServeShedQueue    = "serve_shed_queue"     // shed from the wait queue by CoDel-style aging
+	CtrServePanics       = "serve_panics"         // panics recovered and isolated to one query
+	CtrServeStale        = "serve_stale_served"   // degraded-mode answers served from expired cache entries
+	CtrServeBreakerTrips = "serve_breaker_trips"  // closed→open transitions of the circuit breaker
+	CtrServeBreakerFast  = "serve_breaker_fast"   // queries failed fast while the breaker was open
+	CtrServeBreakerProbe = "serve_breaker_probes" // half-open probe queries allowed through
+	CtrServeBreakerOpen  = "serve_breaker_open"   // gauge: 1 while the breaker is open or half-open
+)
+
 // Counter names for the service's cross-query batcher (DESIGN.md §13),
 // which coalesces concurrent single-source BFS queries into shared
 // bit-parallel multi-source runs.

@@ -88,11 +88,34 @@ type Config struct {
 	// BatchWaitMillis is the batch hold window in milliseconds; 0 means
 	// not specified.
 	BatchWaitMillis int
+
+	// Overload-control settings (DESIGN.md §15), daemon-only like the
+	// batch knobs. Shed uses -1 for "not specified" (daemon flag/env
+	// default applies), 0 for off, 1 for on.
+	Shed int
+	// ShedTargetMillis/ShedIntervalMillis are the CoDel target and
+	// interval in milliseconds; 0 means not specified.
+	ShedTargetMillis   int
+	ShedIntervalMillis int
+	// BreakerThreshold is the circuit breaker's consecutive-I/O-failure
+	// trip count: -1 not specified, 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerBackoffMillis/BreakerMaxBackoffMillis bound the breaker's
+	// open interval; 0 means not specified.
+	BreakerBackoffMillis    int
+	BreakerMaxBackoffMillis int
+	// CacheTTLMillis bounds result-cache freshness: -1 not specified,
+	// 0 means entries never expire.
+	CacheTTLMillis int
+	// PriorityHeader names the HTTP header carrying the admission class;
+	// empty means not specified.
+	PriorityHeader string
 }
 
 // Default returns the configuration used when a key is absent.
 func Default() Config {
-	return Config{Engine: "fastbfs", Device: "hdd", SeekScale: 1, BatchSize: -1}
+	return Config{Engine: "fastbfs", Device: "hdd", SeekScale: 1, BatchSize: -1,
+		Shed: -1, BreakerThreshold: -1, CacheTTLMillis: -1}
 }
 
 // Parse reads a runtime-settings file. Unknown keys are rejected —
@@ -189,6 +212,27 @@ func (c *Config) set(key, val string) error {
 		c.BatchSize, err = strconv.Atoi(val)
 	case "batch_wait_ms":
 		c.BatchWaitMillis, err = strconv.Atoi(val)
+	case "shed":
+		var b bool
+		b, err = strconv.ParseBool(val)
+		c.Shed = 0
+		if b {
+			c.Shed = 1
+		}
+	case "shed_target_ms":
+		c.ShedTargetMillis, err = strconv.Atoi(val)
+	case "shed_interval_ms":
+		c.ShedIntervalMillis, err = strconv.Atoi(val)
+	case "breaker_threshold":
+		c.BreakerThreshold, err = strconv.Atoi(val)
+	case "breaker_backoff_ms":
+		c.BreakerBackoffMillis, err = strconv.Atoi(val)
+	case "breaker_max_backoff_ms":
+		c.BreakerMaxBackoffMillis, err = strconv.Atoi(val)
+	case "cache_ttl_ms":
+		c.CacheTTLMillis, err = strconv.Atoi(val)
+	case "priority_header":
+		c.PriorityHeader = val
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -243,6 +287,24 @@ func (c Config) Validate() error {
 	}
 	if c.BatchWaitMillis < 0 {
 		return fmt.Errorf("runconfig: batch_wait_ms must be non-negative, got %d", c.BatchWaitMillis)
+	}
+	if c.ShedTargetMillis < 0 {
+		return fmt.Errorf("runconfig: shed_target_ms must be non-negative, got %d", c.ShedTargetMillis)
+	}
+	if c.ShedIntervalMillis < 0 {
+		return fmt.Errorf("runconfig: shed_interval_ms must be non-negative, got %d", c.ShedIntervalMillis)
+	}
+	if c.BreakerThreshold < -1 {
+		return fmt.Errorf("runconfig: breaker_threshold must be -1 (unset), 0 (off) or positive, got %d", c.BreakerThreshold)
+	}
+	if c.BreakerBackoffMillis < 0 {
+		return fmt.Errorf("runconfig: breaker_backoff_ms must be non-negative, got %d", c.BreakerBackoffMillis)
+	}
+	if c.BreakerMaxBackoffMillis < 0 {
+		return fmt.Errorf("runconfig: breaker_max_backoff_ms must be non-negative, got %d", c.BreakerMaxBackoffMillis)
+	}
+	if c.CacheTTLMillis < -1 {
+		return fmt.Errorf("runconfig: cache_ttl_ms must be -1 (unset) or non-negative, got %d", c.CacheTTLMillis)
 	}
 	return nil
 }

@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastbfs/internal/errs"
+)
+
+// This file is the service's overload-aware admission layer (DESIGN.md
+// §15). It replaces the original plain semaphore with a slot manager
+// that knows three things a channel cannot express:
+//
+//   - two priority classes (interactive vs batch), so cheap
+//     latency-sensitive lookups are not starved behind cold full-graph
+//     scans — with anti-starvation so batch work still drains;
+//   - CoDel-style queue aging: when the head-of-queue wait has stayed
+//     above ShedTarget for ShedInterval, one aged waiter is shed per
+//     grant (429 + Retry-After) instead of occupying a slot it can no
+//     longer use productively;
+//   - deadline re-checks at grant time: a waiter whose remaining
+//     deadline is smaller than the EWMA-predicted execution time is
+//     shed before it burns a slot streaming a graph it cannot finish.
+//
+// Submit-time deadline prediction (queue wait + exec EWMA) lives in
+// GraphService.hopeless; this file owns the queue itself.
+
+// Priority is a query's admission class.
+type Priority int
+
+const (
+	// PriorityInteractive is the default class: latency-sensitive
+	// queries, granted slots first.
+	PriorityInteractive Priority = iota
+	// PriorityBatch marks throughput work (bulk scans, analytics): it
+	// waits behind interactive queries, with anti-starvation so it
+	// still drains under sustained interactive load.
+	PriorityBatch
+)
+
+// String returns the class's wire name.
+func (p Priority) String() string {
+	if p == PriorityBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParsePriority maps a wire name ("", "interactive", "batch") to a
+// Priority. Unknown names fail with errs.ErrBadOptions.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "interactive":
+		return PriorityInteractive, nil
+	case "batch":
+		return PriorityBatch, nil
+	}
+	return 0, fmt.Errorf("serve: unknown priority %q: %w", s, errs.ErrBadOptions)
+}
+
+// batchStarvationStride is the anti-starvation policy: after this many
+// consecutive interactive grants while batch work waits, the next slot
+// goes to the batch queue regardless.
+const batchStarvationStride = 4
+
+// retryAfterError decorates an admission or breaker rejection with a
+// client retry hint; the HTTP layer surfaces it as a Retry-After
+// header on every 429/503.
+type retryAfterError struct {
+	after time.Duration
+	err   error
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// withRetryAfter wraps err with a retry hint; a non-positive hint
+// passes err through untouched.
+func withRetryAfter(after time.Duration, err error) error {
+	if after <= 0 {
+		return err
+	}
+	return &retryAfterError{after: after, err: err}
+}
+
+// RetryAfterHint extracts the retry hint a rejection carries, if any.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after, true
+	}
+	return 0, false
+}
+
+// ewma is a lock-free exponentially weighted moving average of seconds.
+type ewma struct {
+	bits atomic.Uint64 // float64 bits; 0 = no data
+}
+
+// ewmaAlpha weighs new observations: high enough to track load shifts
+// within a handful of queries, low enough that one outlier does not
+// swing admission decisions.
+const ewmaAlpha = 0.3
+
+func (e *ewma) observe(d time.Duration) {
+	x := d.Seconds()
+	for {
+		old := e.bits.Load()
+		cur := math.Float64frombits(old)
+		next := x
+		if old != 0 {
+			next = cur*(1-ewmaAlpha) + x*ewmaAlpha
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// seconds returns the current average, 0 when nothing was observed.
+func (e *ewma) seconds() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+// predictor tracks recent execution times per (algo, engine) — the
+// service serves exactly one graph, so the pair is per-graph — plus a
+// global slot-occupancy average used to predict queue wait. No
+// observation means no prediction: the service never sheds on zero
+// data.
+type predictor struct {
+	mu    sync.Mutex
+	byKey map[string]*ewma
+	slot  ewma // all slot occupancies, any algo/engine
+}
+
+func newPredictor() *predictor {
+	return &predictor{byKey: make(map[string]*ewma)}
+}
+
+func (p *predictor) forKey(q Query) *ewma {
+	key := string(q.Algorithm) + "|" + q.Engine.String()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.byKey[key]
+	if e == nil {
+		e = &ewma{}
+		p.byKey[key] = e
+	}
+	return e
+}
+
+// observe records one completed execution.
+func (p *predictor) observe(q Query, d time.Duration) {
+	p.forKey(q).observe(d)
+	p.slot.observe(d)
+}
+
+// execSeconds predicts the query's own execution time (0 = no data).
+func (p *predictor) execSeconds(q Query) float64 {
+	return p.forKey(q).seconds()
+}
+
+// slotSeconds predicts how long one execution slot stays occupied.
+func (p *predictor) slotSeconds() float64 { return p.slot.seconds() }
+
+// waiter is one query parked in the admission queue.
+type waiter struct {
+	class    Priority
+	enqueued time.Time
+	deadline time.Time // zero = none
+	execPred float64   // EWMA-predicted exec seconds at enqueue time
+	noShed   bool      // batch runners manage their own members' deadlines
+	ready    chan error
+}
+
+// admitter is the slot manager: MaxInFlight execution slots, a bounded
+// two-class wait queue, CoDel-style aging and grant-time deadline
+// re-checks. All its counters live on the owning service.
+type admitter struct {
+	s *GraphService
+
+	mu     sync.Mutex
+	slots  int
+	inUse  int
+	queues [2][]*waiter // indexed by Priority
+	closed bool
+
+	// CoDel state: when the granted-head wait first stayed above
+	// ShedTarget (zero = currently below target).
+	aboveSince time.Time
+	// interactiveRun counts consecutive interactive grants while batch
+	// work waits, for the anti-starvation stride.
+	interactiveRun int
+}
+
+func newAdmitter(s *GraphService) *admitter {
+	return &admitter{s: s, slots: s.cfg.MaxInFlight}
+}
+
+func (a *admitter) queuedLocked() int {
+	return len(a.queues[PriorityInteractive]) + len(a.queues[PriorityBatch])
+}
+
+// queueState reports the queue depth and whether it is full.
+func (a *admitter) queueState() (queued int, full bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	q := a.queuedLocked()
+	return q, q >= a.s.cfg.MaxQueue
+}
+
+// estimatedWait predicts the queue wait a newly arriving query faces:
+// the queued depth (plus itself) spread over the slots, each held for
+// the EWMA slot-occupancy time. Zero when a slot is free or nothing
+// has been observed yet.
+func (a *admitter) estimatedWait() time.Duration {
+	slotSec := a.s.pred.slotSeconds()
+	if slotSec <= 0 {
+		return 0
+	}
+	a.mu.Lock()
+	queued := a.queuedLocked()
+	free := a.slots - a.inUse
+	a.mu.Unlock()
+	if free > 0 && queued == 0 {
+		return 0
+	}
+	waves := float64(queued+1) / float64(a.slots)
+	return time.Duration(waves * slotSec * float64(time.Second))
+}
+
+// acquire obtains an execution slot, waiting in the bounded class
+// queue when every slot is busy. It fails with errs.ErrBusy (plus a
+// Retry-After hint) when the queue is full, errs.ErrCancelled when ctx
+// dies while waiting, errs.ErrClosed when the service shuts down under
+// the waiter, and errs.ErrDeadlineHopeless when overload control sheds
+// the waiter from the queue. A granted slot is returned with release.
+func (a *admitter) acquire(ctx context.Context, q Query, noShed bool) error {
+	s := a.s
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
+	}
+	if a.inUse < a.slots && a.queuedLocked() == 0 {
+		a.inUse++
+		a.mu.Unlock()
+		return nil
+	}
+	// Batch runners (noShed) bypass the queue bound: the batcher already
+	// bounds forming batches like the wait queue, and a runner that got
+	// ErrBusy here would fail every member it carries.
+	if queued := a.queuedLocked(); !noShed && queued >= s.cfg.MaxQueue {
+		a.mu.Unlock()
+		s.ctr.rejected.Add(1)
+		hint := a.estimatedWait()
+		return withRetryAfter(hint, fmt.Errorf("serve: %s: %d in flight, %d queued: %w",
+			s.name, s.cfg.MaxInFlight, queued, errs.ErrBusy))
+	}
+	w := &waiter{
+		class:    q.Priority,
+		enqueued: time.Now(),
+		execPred: s.pred.execSeconds(q),
+		noShed:   noShed,
+		ready:    make(chan error, 1),
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		w.deadline = dl
+	}
+	a.queues[w.class] = append(a.queues[w.class], w)
+	s.ctr.queueDepth.Set(int64(a.queuedLocked()))
+	a.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+	}
+	// ctx died while parked. Resolve the race with a concurrent grant or
+	// shed under the lock: if the waiter is still queued we own its exit;
+	// otherwise take the resolution that already happened.
+	a.mu.Lock()
+	removed := a.removeLocked(w)
+	if removed {
+		s.ctr.queueDepth.Set(int64(a.queuedLocked()))
+	}
+	a.mu.Unlock()
+	if removed {
+		s.ctr.cancelled.Add(1)
+		return fmt.Errorf("serve: %s: queued query: %w: %w", s.name, errs.ErrCancelled, context.Cause(ctx))
+	}
+	err := <-w.ready
+	if err == nil {
+		// Granted concurrently with the cancellation: hand the slot to
+		// the next waiter and report the cancellation truthfully.
+		a.release()
+		s.ctr.cancelled.Add(1)
+		return fmt.Errorf("serve: %s: queued query: %w: %w", s.name, errs.ErrCancelled, context.Cause(ctx))
+	}
+	return err
+}
+
+// removeLocked deletes w from its class queue; false means w was
+// already granted or shed.
+func (a *admitter) removeLocked(w *waiter) bool {
+	q := a.queues[w.class]
+	for i, cand := range q {
+		if cand == w {
+			a.queues[w.class] = append(q[:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release returns an execution slot, granting it to the next waiter
+// per the class policy. This is where queue aging runs: grants are the
+// only moments queue time becomes observable, so CoDel-style shedding
+// happens here, at most one shed per grant.
+func (a *admitter) release() {
+	s := a.s
+	now := time.Now()
+	var grant *waiter
+	var shed []*waiter
+	a.mu.Lock()
+	for {
+		w := a.popLocked()
+		if w == nil {
+			a.inUse--
+			break
+		}
+		if s.cfg.Shed && !w.noShed && a.shouldShedLocked(w, now) && len(shed) == 0 {
+			// One shed per grant (the CoDel interval restarts below), then
+			// the next waiter is granted regardless: gradual pressure
+			// relief, not queue collapse.
+			shed = append(shed, w)
+			a.aboveSince = now
+			continue
+		}
+		grant = w
+		break
+	}
+	if grant != nil {
+		if grant.class == PriorityInteractive && len(a.queues[PriorityBatch]) > 0 {
+			a.interactiveRun++
+		} else {
+			a.interactiveRun = 0
+		}
+		// The slot transfers to the waiter: inUse is unchanged.
+		age := now.Sub(grant.enqueued)
+		if age > s.cfg.ShedTarget {
+			if a.aboveSince.IsZero() {
+				a.aboveSince = now
+			}
+		} else {
+			a.aboveSince = time.Time{}
+		}
+	}
+	s.ctr.queueDepth.Set(int64(a.queuedLocked()))
+	a.mu.Unlock()
+
+	hint := time.Duration(0)
+	if len(shed) > 0 {
+		hint = a.estimatedWait()
+	}
+	for _, w := range shed {
+		s.ctr.shed.Add(1)
+		s.ctr.shedQueue.Add(1)
+		age := now.Sub(w.enqueued)
+		w.ready <- withRetryAfter(hint, fmt.Errorf("serve: %s: shed after %v queued: %w",
+			s.name, age.Round(time.Microsecond), errs.ErrDeadlineHopeless))
+	}
+	if grant != nil {
+		grant.ready <- nil
+	}
+}
+
+// popLocked picks the next waiter by class policy: interactive first,
+// except that after batchStarvationStride consecutive interactive
+// grants with batch work waiting, the batch head goes first.
+func (a *admitter) popLocked() *waiter {
+	class := PriorityInteractive
+	if len(a.queues[PriorityInteractive]) == 0 ||
+		(len(a.queues[PriorityBatch]) > 0 && a.interactiveRun >= batchStarvationStride) {
+		if len(a.queues[PriorityBatch]) > 0 {
+			class = PriorityBatch
+		}
+	}
+	q := a.queues[class]
+	if len(q) == 0 {
+		return nil
+	}
+	w := q[0]
+	a.queues[class] = q[1:]
+	return w
+}
+
+// shouldShedLocked is the CoDel condition for one waiter at grant
+// time: its queue age exceeds ShedTarget and the head wait has stayed
+// above target for at least ShedInterval — or its own deadline can no
+// longer cover its predicted execution, making the grant pure waste.
+func (a *admitter) shouldShedLocked(w *waiter, now time.Time) bool {
+	cfg := &a.s.cfg
+	age := now.Sub(w.enqueued)
+	if age > cfg.ShedTarget && !a.aboveSince.IsZero() && now.Sub(a.aboveSince) >= cfg.ShedInterval {
+		return true
+	}
+	if !w.deadline.IsZero() && w.execPred > 0 {
+		if w.deadline.Sub(now).Seconds() < w.execPred {
+			return true
+		}
+	}
+	return false
+}
+
+// close wakes every queued waiter with errs.ErrClosed, synchronously,
+// before returning — Shutdown calls it first, so even a Shutdown with
+// an already-expired context leaves no waiter parked.
+func (a *admitter) close() {
+	s := a.s
+	a.mu.Lock()
+	a.closed = true
+	var all []*waiter
+	for class := range a.queues {
+		all = append(all, a.queues[class]...)
+		a.queues[class] = nil
+	}
+	s.ctr.queueDepth.Set(0)
+	a.mu.Unlock()
+	for _, w := range all {
+		w.ready <- fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
+	}
+}

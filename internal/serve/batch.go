@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/obs"
+	"fastbfs/internal/stream"
 	"fastbfs/internal/xstream"
 )
 
@@ -92,6 +94,11 @@ type batch struct {
 // standalone run. GraphChi stays solo for the same reason (different
 // traversal order, different parent trees).
 func (s *GraphService) batchable(q Query) bool {
+	if s.cfg.PanicRoot > 0 && int64(q.Root) == s.cfg.PanicRoot {
+		// A poisoned chaos root must run solo so its injected panic fails
+		// exactly one query, never a shared run's innocent members.
+		return false
+	}
 	return s.batcher != nil && q.Algorithm == AlgoBFS && q.Engine != EngineGraphChi && q.MaxIterations == 0
 }
 
@@ -272,6 +279,16 @@ func (bt *batch) run() {
 	s := bt.b.s
 	defer s.wg.Done()
 	defer bt.timer.Stop()
+	// The runner is a shared goroutine: a panic anywhere past this point
+	// (demux, counters) must fail this batch's members, not the process.
+	// The engine run itself has its own recover below so a mid-run panic
+	// still reaches bt.fail with the right error; this is the backstop.
+	defer func() {
+		if r := recover(); r != nil {
+			s.notePanic(Query{Algorithm: AlgoBFS}, r, debug.Stack())
+			bt.fail(fmt.Errorf("serve: %s: batch runner panic: %v: %w", s.name, r, errs.ErrInternal))
+		}
+	}()
 
 	select {
 	case <-bt.hold:
@@ -284,20 +301,20 @@ func (bt *batch) run() {
 		return
 	}
 
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		select {
-		case s.sem <- struct{}{}:
-		case <-bt.ctx.Done():
-			bt.fail(nil)
-			return
-		case <-s.closing:
-			bt.fail(fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed))
-			return
+	// Slot wait goes through the admitter like every solo query —
+	// interactive class, but exempt from shedding and the queue bound
+	// (noShed): members manage their own deadlines by leaving, and the
+	// batcher already bounds forming batches. The batch stays joinable
+	// while it waits, which is where saturation grows batches.
+	if err := s.adm.acquire(bt.ctx, Query{Algorithm: AlgoBFS, Engine: EngineFastBFS}, true); err != nil {
+		if errors.Is(err, errs.ErrCancelled) {
+			bt.fail(nil) // every member already left
+		} else {
+			bt.fail(err)
 		}
+		return
 	}
-	defer func() { <-s.sem }()
+	defer s.adm.release()
 
 	live, roots := bt.seal()
 	if len(live) == 0 {
@@ -321,10 +338,27 @@ func (bt *batch) run() {
 	var res *algo.Result
 	if err == nil {
 		opts := s.batchOpts(bt.key)
-		res, err = algo.RunContext(bt.ctx, s.vol, s.name, prog, opts)
+		func() {
+			// Engine-thread panic isolation for the shared run: the engine's
+			// deferred cleanup runs during unwinding, then the panic becomes
+			// this batch's error instead of killing the runner goroutine.
+			defer func() {
+				if r := recover(); r != nil {
+					s.notePanic(Query{Algorithm: AlgoBFS}, r, debug.Stack())
+					res, err = nil, fmt.Errorf("serve: %s: batch run panic: %v: %w", s.name, r, errs.ErrInternal)
+				}
+			}()
+			res, err = algo.RunContext(bt.ctx, s.vol, s.name, prog, opts)
+		}()
 	}
 	exec := time.Since(execStart)
+	// One breaker observation per shared run, mirroring the solo path.
+	s.brk.record(false, err)
 	if err != nil {
+		var pe *stream.PanicError
+		if errors.As(err, &pe) {
+			s.notePanic(Query{Algorithm: AlgoBFS}, pe.Value, pe.Stack)
+		}
 		sp.Label("outcome", outcomeFor(err)).End()
 		if errors.Is(err, errs.ErrIOFailed) || errors.Is(err, errs.ErrCorrupted) {
 			s.ctr.ioFailures.Add(1) // once per shared run, like ioRetries below
@@ -332,6 +366,7 @@ func (bt *batch) run() {
 		bt.fail(err)
 		return
 	}
+	s.pred.observe(Query{Algorithm: AlgoBFS, Engine: EngineFastBFS}, exec)
 	sp.Label("outcome", OutcomeOK).End()
 
 	bytes := res.Metrics.BytesRead + res.Metrics.BytesWritten

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastbfs/internal/errs"
+)
+
+// breaker is the service's per-graph circuit breaker (DESIGN.md §15).
+// The service serves exactly one graph over one volume, so one breaker
+// guards it: consecutive ErrIOFailed/ErrCorrupted results — the
+// storage taxonomy for "the volume is sick past the retry budget" —
+// trip it open, and open means new queries fail fast with
+// errs.ErrUnavailable instead of each rediscovering the failure
+// through a full retry cycle. After a backoff the breaker half-opens
+// and lets exactly one probe query through; a probe success closes it,
+// a probe I/O failure re-opens it with doubled (capped) backoff.
+//
+// State machine:
+//
+//	closed --threshold consecutive I/O failures--> open
+//	open   --backoff elapsed-->                    half-open (1 probe)
+//	half-open --probe ok-->                        closed
+//	half-open --probe I/O failure-->               open (backoff *= 2)
+//	half-open --probe inconclusive-->              half-open (reprobe)
+type breaker struct {
+	s *GraphService
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int           // I/O failures since the last success (closed state)
+	until       time.Time     // open: when the next probe may run
+	backoff     time.Duration // current open interval
+	probing     bool          // half-open: the single probe is out
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// newBreaker returns nil when the threshold is negative (disabled).
+func newBreaker(s *GraphService) *breaker {
+	if s.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	return &breaker{s: s}
+}
+
+// allow gates one query. It returns probe=true for the single
+// half-open probe (the caller must report its result), or an
+// errs.ErrUnavailable (with a Retry-After hint covering the remaining
+// backoff) while the breaker is open. A nil breaker allows everything.
+func (b *breaker) allow() (probe bool, err error) {
+	if b == nil {
+		return false, nil
+	}
+	s := b.s
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	switch b.state {
+	case breakerClosed:
+		return false, nil
+	case breakerOpen:
+		if now.Before(b.until) {
+			s.ctr.breakerFast.Add(1)
+			return false, withRetryAfter(b.until.Sub(now), fmt.Errorf("serve: %s: circuit breaker open (%v left): %w",
+				s.name, b.until.Sub(now).Round(time.Millisecond), errs.ErrUnavailable))
+		}
+		b.state = breakerHalfOpen
+		fallthrough
+	case breakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			s.ctr.breakerProbe.Add(1)
+			return true, nil
+		}
+		s.ctr.breakerFast.Add(1)
+		return false, withRetryAfter(b.backoff, fmt.Errorf("serve: %s: circuit breaker half-open, probe in flight: %w",
+			s.name, errs.ErrUnavailable))
+	}
+	return false, nil
+}
+
+// record feeds one query (or shared batch run) outcome back. Only the
+// storage taxonomy moves the breaker: cancellations and bad requests
+// say nothing about volume health.
+func (b *breaker) record(probe bool, err error) {
+	if b == nil {
+		return
+	}
+	s := b.s
+	ioFailure := err != nil && (errors.Is(err, errs.ErrIOFailed) || errors.Is(err, errs.ErrCorrupted))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if ioFailure {
+			b.consecutive++
+			if b.consecutive >= s.cfg.BreakerThreshold {
+				b.tripLocked(s.cfg.BreakerBackoff)
+			}
+		} else if err == nil {
+			b.consecutive = 0
+		}
+	case breakerOpen, breakerHalfOpen:
+		if probe {
+			b.probing = false
+		}
+		switch {
+		case ioFailure:
+			// Any I/O failure while not closed re-opens; a failed probe
+			// doubles the backoff up to the cap.
+			next := b.backoff
+			if probe {
+				next *= 2
+				if next > s.cfg.BreakerMaxBackoff {
+					next = s.cfg.BreakerMaxBackoff
+				}
+			}
+			b.tripLocked(next)
+		case probe && err == nil:
+			b.state = breakerClosed
+			b.consecutive = 0
+			b.backoff = 0
+			s.ctr.breakerOpen.Set(0)
+			// An inconclusive probe (cancelled, deadline) leaves half-open;
+			// the next allow sends another probe.
+		}
+	}
+}
+
+func (b *breaker) tripLocked(backoff time.Duration) {
+	s := b.s
+	if backoff <= 0 {
+		backoff = s.cfg.BreakerBackoff
+	}
+	if b.state == breakerClosed {
+		s.ctr.breakerTrips.Add(1)
+	}
+	b.state = breakerOpen
+	b.probing = false
+	b.backoff = backoff
+	b.until = time.Now().Add(backoff)
+	b.consecutive = 0
+	s.ctr.breakerOpen.Set(1)
+}
+
+// open reports whether the breaker is currently not closed — what
+// /healthz "degraded" and /readyz key on.
+func (b *breaker) open() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// stateName names the current state for health payloads.
+func (b *breaker) stateName() string {
+	if b == nil {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

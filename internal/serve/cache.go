@@ -3,11 +3,19 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // lru is a small mutex-guarded LRU result cache keyed by the normalized
 // query string. Values are *Result pointers shared with callers, which
 // is why Result documents its slices as read-only.
+//
+// Entries carry their fill time. A fresh lookup (get) honors the
+// configured TTL; an expired entry is not returned but stays resident,
+// because degraded-mode serving (DESIGN.md §15) deliberately answers
+// opted-in queries from expired entries while the circuit breaker is
+// open or shedding is active — a stale answer beats no answer, and the
+// entry is only evicted by LRU pressure, never by age.
 type lru struct {
 	mu    sync.Mutex
 	cap   int
@@ -18,6 +26,7 @@ type lru struct {
 type lruEntry struct {
 	key string
 	res *Result
+	at  time.Time // when the entry was filled (TTL + staleness age)
 }
 
 // newLRU returns nil for capacity <= 0 (caching disabled); a nil *lru
@@ -29,26 +38,56 @@ func newLRU(capacity int) *lru {
 	return &lru{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-func (c *lru) get(key string) (*Result, bool) {
+// get returns a fresh entry: one younger than ttl (ttl <= 0 means
+// entries never expire). An expired entry reports a miss but is kept
+// for getAny.
+func (c *lru) get(key string, ttl time.Duration) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
 		return nil, false
 	}
+	e := el.Value.(*lruEntry)
+	if ttl > 0 && time.Since(e.at) > ttl {
+		return nil, false
+	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	return e.res, true
 }
 
+// getAny returns the entry regardless of age, plus its age — the
+// degraded-mode (allow_stale) lookup.
+func (c *lru) getAny(key string) (*Result, time.Duration, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*lruEntry)
+	c.order.MoveToFront(el)
+	return e.res, time.Since(e.at), true
+}
+
+// put stores a private shallow copy of res: callers keep mutating the
+// original after insertion (Submit stamps TraceID on every returned
+// result), and the cached object is read concurrently by get/getAny.
+// The slices inside stay shared — Result documents them as read-only.
 func (c *lru) put(key string, res *Result) {
+	cp := *res
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*lruEntry).res = res
+		e := el.Value.(*lruEntry)
+		e.res, e.at = &cp, time.Now()
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: &cp, at: time.Now()})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)

@@ -26,6 +26,12 @@ type httpQuery struct {
 	// closing the connection, which also cancels it).
 	TimeoutMs int  `json:"timeout_ms,omitempty"`
 	NoCache   bool `json:"no_cache,omitempty"`
+	// Priority is the admission class ("interactive"/"batch"); when
+	// empty, the priority header (Config.PriorityHeader) applies.
+	Priority string `json:"priority,omitempty"`
+	// AllowStale opts into degraded-mode answers from expired cache
+	// entries when the service is shedding or the breaker is open.
+	AllowStale bool `json:"allow_stale,omitempty"`
 	// IncludeValues returns the per-vertex arrays, which are large;
 	// without it the response carries only the summary fields.
 	IncludeValues bool `json:"include_values,omitempty"`
@@ -39,6 +45,10 @@ type httpResult struct {
 	Visited   uint64   `json:"visited"`
 	Cached    bool     `json:"cached"`
 	Batched   bool     `json:"batched,omitempty"`
+	// Stale marks a degraded-mode answer served from an expired cache
+	// entry (the query set allow_stale and the service was overloaded or
+	// the breaker open).
+	Stale bool `json:"stale,omitempty"`
 	ExecTime  float64  `json:"exec_time,omitempty"`
 	Levels    []uint32 `json:"levels,omitempty"`
 	Parents   []uint32 `json:"parents,omitempty"`
@@ -65,36 +75,62 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, errs.ErrGraphNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, errs.ErrBusy):
+	case errors.Is(err, errs.ErrBusy), errors.Is(err, errs.ErrDeadlineHopeless):
+		// Both mean "try later": saturation and overload shedding. The
+		// response carries a Retry-After hint either way.
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, errs.ErrClosed), errors.Is(err, errs.ErrCancelled):
+	case errors.Is(err, errs.ErrClosed), errors.Is(err, errs.ErrCancelled), errors.Is(err, errs.ErrUnavailable):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
 
-// reasonFor classifies I/O-taxonomy errors for httpError.Reason; other
-// errors are self-describing and get no reason field.
+// reasonFor classifies I/O-taxonomy and overload errors for
+// httpError.Reason; other errors are self-describing and get no reason
+// field.
 func reasonFor(err error) string {
 	switch {
 	case errors.Is(err, errs.ErrCorrupted):
 		return "corrupted"
 	case errors.Is(err, errs.ErrIOFailed):
 		return "io_failed"
+	case errors.Is(err, errs.ErrDeadlineHopeless):
+		return "shed"
+	case errors.Is(err, errs.ErrUnavailable):
+		return "breaker_open"
+	case errors.Is(err, errs.ErrInternal):
+		return "panic"
 	}
 	return ""
+}
+
+// setRetryAfter stamps the Retry-After header every 429/503 carries: the
+// hint the rejection computed (rounded up to whole seconds), or 1s when
+// the rejection carried none — clients should always get a number.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	secs := int64(1)
+	if hint, ok := RetryAfterHint(err); ok {
+		s := int64((hint + time.Second - 1) / time.Second)
+		if s > secs {
+			secs = s
+		}
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 }
 
 // Handler returns the service's HTTP interface:
 //
 //	POST /query   JSON httpQuery -> httpResult
 //	GET  /healthz liveness, uptime, build info + Stats snapshot
+//	GET  /readyz  readiness (not draining, breaker closed, queue sane)
 //	GET  /metrics serve counters + latency histograms, Prometheus text
 //
-// Saturation maps to 429, a blown server-side deadline to 504, a
-// malformed query to 400; the daemon (cmd/fastbfsd) mounts this on its
+// Saturation and overload shedding map to 429, the open circuit breaker
+// and draining to 503 (both 429 and 503 carry Retry-After), a blown
+// server-side deadline to 504, a malformed query to 400, an isolated
+// query panic to 500; the daemon (cmd/fastbfsd) mounts this on its
 // listener. Every /query response — success or error — carries the
 // request's trace ID in the X-Request-Id header and the JSON body; a
 // client-supplied X-Request-Id is adopted after sanitization.
@@ -102,6 +138,7 @@ func (s *GraphService) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -138,12 +175,25 @@ func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, statusFor(err), httpError{Error: err.Error(), TraceID: traceID})
 		return
 	}
+	// The JSON priority field wins; requests without one fall back to
+	// the priority header so proxies can classify whole client tiers.
+	prioStr := hq.Priority
+	if prioStr == "" {
+		prioStr = r.Header.Get(s.cfg.PriorityHeader)
+	}
+	prio, err := ParsePriority(prioStr)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error(), TraceID: traceID})
+		return
+	}
 	q := Query{
 		Algorithm:     Algorithm(hq.Algorithm),
 		Engine:        engine,
 		Root:          graph.VertexID(hq.Root),
 		MaxIterations: hq.MaxIterations,
 		NoCache:       hq.NoCache,
+		Priority:      prio,
+		AllowStale:    hq.AllowStale,
 		TraceID:       traceID,
 	}
 	for _, r := range hq.Roots {
@@ -159,7 +209,11 @@ func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// A cancelled query whose cause is the server-side timeout is a
 		// gateway timeout, not a plain cancellation.
-		writeJSON(w, statusFor(err), httpError{Error: err.Error(), Reason: reasonFor(err), TraceID: traceID})
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			setRetryAfter(w, err)
+		}
+		writeJSON(w, status, httpError{Error: err.Error(), Reason: reasonFor(err), TraceID: traceID})
 		return
 	}
 	hr := httpResult{
@@ -169,6 +223,7 @@ func (s *GraphService) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Visited:   res.Visited,
 		Cached:    res.Cached,
 		Batched:   res.Batched,
+		Stale:     res.Stale,
 		ExecTime:  res.Metrics.ExecTime,
 	}
 	if hq.IncludeValues {
@@ -203,6 +258,11 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	case closed:
 		status = http.StatusServiceUnavailable
 		state = "draining"
+	case s.brk.open():
+		// Still alive (status 200) but the circuit breaker took the
+		// volume out of service; /readyz reports not-ready so balancers
+		// stop routing here while the backoff runs.
+		state = "degraded"
 	case stats.IOFailures > 0:
 		// Still serving (status 200) but queries have hit I/O failures
 		// past the retry budget; operators should look at the disks.
@@ -223,7 +283,10 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// load tooling can label measurements with the server's mode.
 		BatchSize   int     `json:"batch_size"`
 		BatchWaitMs float64 `json:"batch_wait_ms"`
-		Stats       Stats   `json:"stats"`
+		// Breaker is the circuit breaker's current state: "closed",
+		// "open", "half-open", or "disabled".
+		Breaker string `json:"breaker"`
+		Stats   Stats  `json:"stats"`
 	}{
 		Status:      state,
 		Graph:       s.name,
@@ -235,8 +298,25 @@ func (s *GraphService) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		GoVersion:   runtime.Version(),
 		BatchSize:   s.cfg.BatchSize,
 		BatchWaitMs: float64(s.cfg.BatchWait) / float64(time.Millisecond),
+		Breaker:     s.brk.stateName(),
 		Stats:       stats,
 	})
+}
+
+// handleReadyz is the readiness probe: distinct from /healthz liveness,
+// it answers "should a balancer route new queries here right now".
+// Draining, an open breaker, a full admission queue or predicted
+// overload all report 503 with the reasons listed.
+func (s *GraphService) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, reasons := s.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons,omitempty"`
+	}{Ready: ready, Reasons: reasons})
 }
 
 // handleMetrics serves the registry — the serve_* counters plus the

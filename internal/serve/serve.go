@@ -30,6 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -44,6 +46,7 @@ import (
 	"fastbfs/internal/metrics"
 	"fastbfs/internal/obs"
 	"fastbfs/internal/storage"
+	"fastbfs/internal/stream"
 	"fastbfs/internal/xstream"
 )
 
@@ -135,6 +138,14 @@ type Query struct {
 	// NoCache bypasses the result cache for this query, both lookup and
 	// store.
 	NoCache bool
+	// Priority is the query's admission class (DESIGN.md §15):
+	// interactive (the default) is granted execution slots ahead of
+	// batch, which marks bulk/analytics work that can wait.
+	Priority Priority
+	// AllowStale opts into degraded-mode answers: when the circuit
+	// breaker is open or overload control sheds the query, an expired
+	// result-cache entry may answer it instead, marked Result.Stale.
+	AllowStale bool
 	// TraceID correlates this query across the JSONL trace, the
 	// slow-query log and histogram exemplars. Empty means the service
 	// generates one; either way the ID comes back in Result.TraceID. It
@@ -162,6 +173,10 @@ type Result struct {
 	// shared run, not a per-query one. Cache hits clear it: they report
 	// their own provenance, not the filling query's.
 	Batched bool
+	// Stale reports a degraded-mode answer (DESIGN.md §15): the query
+	// opted in with AllowStale and was answered from an expired cache
+	// entry because the breaker was open or overload control shed it.
+	Stale bool
 	// TraceID is the query's trace ID (the submitted one, or the one the
 	// service generated).
 	TraceID string
@@ -208,6 +223,44 @@ type Config struct {
 	// algorithm, engine, outcome, wait/exec/e2e milliseconds). Nil means
 	// slow queries are counted but not logged.
 	SlowQueryLog io.Writer
+
+	// Shed enables deadline-aware admission and CoDel-style queue aging
+	// (DESIGN.md §15): queries whose context deadline cannot survive the
+	// EWMA-predicted queue wait plus execution time are rejected at
+	// Submit with errs.ErrDeadlineHopeless, and waiters aged past
+	// ShedTarget are shed from the queue before they occupy a slot.
+	Shed bool
+	// ShedTarget is the acceptable queue wait (CoDel's target). Default
+	// 25ms.
+	ShedTarget time.Duration
+	// ShedInterval is how long the head-of-queue wait must stay above
+	// ShedTarget before queue-aging sheds begin (CoDel's interval).
+	// Default 100ms.
+	ShedInterval time.Duration
+	// CacheTTL bounds how long a result-cache entry answers fresh
+	// lookups; 0 means entries never expire. Expired entries stay
+	// resident for degraded-mode (AllowStale) answers.
+	CacheTTL time.Duration
+	// BreakerThreshold is how many consecutive ErrIOFailed/ErrCorrupted
+	// results trip the per-graph circuit breaker. Default 5; negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerBackoff is the breaker's initial open interval before the
+	// half-open probe; a failed probe doubles it up to BreakerMaxBackoff.
+	// Defaults 500ms and 8s.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// PriorityHeader names the HTTP header carrying the admission class
+	// ("interactive"/"batch") for requests that don't set the JSON
+	// priority field. Default "X-Fastbfs-Priority".
+	PriorityHeader string
+	// PanicRoot, when positive, installs a chaos fault hook that panics
+	// mid-scatter for queries rooted at that vertex — the seam the
+	// chaos-serve CI cell uses to prove panic isolation. 0 disables it
+	// (root 0 cannot be poisoned; chaos runs pick any other root).
+	// Queries on the poisoned root never batch, so the panic is
+	// isolated to exactly that query.
+	PanicRoot int64
 }
 
 func (c *Config) setDefaults() {
@@ -238,6 +291,24 @@ func (c *Config) setDefaults() {
 	if c.BatchSize > 0 && c.BatchWait <= 0 {
 		c.BatchWait = 2 * time.Millisecond
 	}
+	if c.ShedTarget <= 0 {
+		c.ShedTarget = 25 * time.Millisecond
+	}
+	if c.ShedInterval <= 0 {
+		c.ShedInterval = 100 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = 500 * time.Millisecond
+	}
+	if c.BreakerMaxBackoff < c.BreakerBackoff {
+		c.BreakerMaxBackoff = 8 * time.Second
+	}
+	if c.PriorityHeader == "" {
+		c.PriorityHeader = "X-Fastbfs-Priority"
+	}
 }
 
 // serveCounters are the service's live obs counters (no-ops on a nil
@@ -262,6 +333,16 @@ type serveCounters struct {
 	batchEvicted    *obs.Counter
 	deviceBytes     *obs.Counter
 	batchBytesSaved *obs.Counter
+
+	shed         *obs.Counter
+	shedDeadline *obs.Counter
+	shedQueue    *obs.Counter
+	panics       *obs.Counter
+	stale        *obs.Counter
+	breakerTrips *obs.Counter
+	breakerFast  *obs.Counter
+	breakerProbe *obs.Counter
+	breakerOpen  *obs.Counter
 }
 
 // GraphService serves concurrent queries over one stored graph.
@@ -278,16 +359,25 @@ type GraphService struct {
 	// slowMu serializes writes to the slow-query log.
 	slowMu sync.Mutex
 
-	// sem holds one token per executing query (admission control).
-	sem chan struct{}
 	// seq numbers queries for their unique working-file prefixes.
 	seq atomic.Uint64
 
 	mu      sync.Mutex
-	waiting int           // queries blocked on sem, bounded by MaxQueue
 	closed  bool          // no new Submits
-	closing chan struct{} // closed by Shutdown; wakes waiters
+	closing chan struct{} // closed by Shutdown; wakes the batch runners
 	wg      sync.WaitGroup
+
+	// adm is the overload-aware slot manager (admission.go); pred the
+	// exec-time EWMA tracker feeding its predictions; brk the per-graph
+	// circuit breaker (nil when disabled).
+	adm  *admitter
+	pred *predictor
+	brk  *breaker
+
+	// panicStackOnce gates the full stack dump: the first isolated
+	// panic logs its stack, later ones log a single line (the counter
+	// carries the rate).
+	panicStackOnce sync.Once
 
 	cache *lru
 	// batcher coalesces BFS queries into shared runs; nil when
@@ -317,10 +407,12 @@ func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error
 		cfg:     cfg,
 		tr:      tr,
 		start:   time.Now(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
 		closing: make(chan struct{}),
 		cache:   newLRU(cfg.CacheEntries),
+		pred:    newPredictor(),
 	}
+	s.adm = newAdmitter(s)
+	s.brk = newBreaker(s)
 	s.ctr = serveCounters{
 		inflight:    s.tr.Counter(obs.CtrServeInflight),
 		queueDepth:  s.tr.Counter(obs.CtrServeQueueDepth),
@@ -341,6 +433,16 @@ func New(vol storage.Volume, graphName string, cfg Config) (*GraphService, error
 		batchEvicted:    s.tr.Counter(obs.CtrServeBatchEvicted),
 		deviceBytes:     s.tr.Counter(obs.CtrServeDeviceBytes),
 		batchBytesSaved: s.tr.Counter(obs.CtrServeBatchBytesSaved),
+
+		shed:         s.tr.Counter(obs.CtrServeShed),
+		shedDeadline: s.tr.Counter(obs.CtrServeShedDeadline),
+		shedQueue:    s.tr.Counter(obs.CtrServeShedQueue),
+		panics:       s.tr.Counter(obs.CtrServePanics),
+		stale:        s.tr.Counter(obs.CtrServeStale),
+		breakerTrips: s.tr.Counter(obs.CtrServeBreakerTrips),
+		breakerFast:  s.tr.Counter(obs.CtrServeBreakerFast),
+		breakerProbe: s.tr.Counter(obs.CtrServeBreakerProbe),
+		breakerOpen:  s.tr.Counter(obs.CtrServeBreakerOpen),
 	}
 	if cfg.BatchSize > 0 {
 		s.batcher = newBatcher(s)
@@ -421,42 +523,74 @@ func (s *GraphService) submit(ctx context.Context, q Query, tm *queryTiming) (Qu
 
 	useCache := s.cache != nil && !nq.NoCache
 	if useCache {
-		if res, ok := s.cache.get(key); ok {
+		if res, ok := s.cache.get(key, s.cfg.CacheTTL); ok {
 			s.ctr.cacheHits.Add(1)
 			tm.cached = true
 			hit := *res
 			hit.Cached = true
 			hit.Batched = false
+			hit.Stale = false
 			return nq, &hit, nil
 		}
 		s.ctr.cacheMisses.Add(1)
 	}
 
-	if s.batchable(nq) {
+	// Deadline-aware admission (DESIGN.md §15): a query whose deadline
+	// cannot survive the predicted queue wait plus execution time is
+	// refused before it costs anyone anything — unless an expired cache
+	// entry can answer it in degraded mode.
+	if err := s.hopeless(ctx, nq); err != nil {
+		if res := s.tryStale(nq, key, useCache, tm); res != nil {
+			return nq, res, nil
+		}
+		return nq, nil, err
+	}
+
+	// The per-graph circuit breaker fails fast while the volume is
+	// sick; the single half-open probe runs solo (never batched) so its
+	// outcome is attributable.
+	probe, err := s.brk.allow()
+	if err != nil {
+		if res := s.tryStale(nq, key, useCache, tm); res != nil {
+			return nq, res, nil
+		}
+		return nq, nil, err
+	}
+
+	if !probe && s.batchable(nq) {
 		res, err := s.submitBatched(ctx, nq, key, useCache, tm)
 		return nq, res, err
 	}
 
 	tm.waited = true
 	waitStart := time.Now()
-	err = s.admit(ctx)
+	err = s.adm.acquire(ctx, nq, false)
 	tm.wait = time.Since(waitStart)
 	if err != nil {
+		if probe {
+			s.brk.record(probe, err)
+		}
+		if errors.Is(err, errs.ErrDeadlineHopeless) {
+			if res := s.tryStale(nq, key, useCache, tm); res != nil {
+				return nq, res, nil
+			}
+		}
 		return nq, nil, err
 	}
 	s.ctr.admitted.Add(1)
 	s.ctr.inflight.Add(1)
 	defer func() {
 		s.ctr.inflight.Add(-1)
-		<-s.sem
+		s.adm.release()
 	}()
 
 	tm.ran = true
 	execStart := time.Now()
 	res, err := s.execute(ctx, nq)
 	tm.exec = time.Since(execStart)
+	s.brk.record(probe, err)
 	if err != nil {
-		if errors.Is(err, errs.ErrCancelled) || ctx.Err() != nil {
+		if errors.Is(err, errs.ErrCancelled) || (ctx.Err() != nil && !errors.Is(err, errs.ErrInternal)) {
 			s.ctr.cancelled.Add(1)
 		}
 		if errors.Is(err, errs.ErrIOFailed) || errors.Is(err, errs.ErrCorrupted) {
@@ -464,6 +598,7 @@ func (s *GraphService) submit(ctx context.Context, q Query, tm *queryTiming) (Qu
 		}
 		return nq, nil, err
 	}
+	s.pred.observe(nq, tm.exec)
 	s.ctr.completed.Add(1)
 	s.ctr.ioRetries.Add(res.Metrics.IORetries)
 	s.ctr.ioFailures.Add(res.Metrics.IOFailures)
@@ -472,6 +607,55 @@ func (s *GraphService) submit(ctx context.Context, q Query, tm *queryTiming) (Qu
 		s.cache.put(key, res)
 	}
 	return nq, res, nil
+}
+
+// hopeless applies the Submit-time deadline check: with shedding
+// enabled and a deadline present, a query whose remaining time is
+// smaller than the predicted queue wait plus its own predicted
+// execution time is shed with errs.ErrDeadlineHopeless (HTTP 429) and
+// a Retry-After hint. No prediction data means no shedding.
+func (s *GraphService) hopeless(ctx context.Context, q Query) error {
+	if !s.cfg.Shed {
+		return nil
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	wait := s.adm.estimatedWait()
+	need := wait + time.Duration(s.pred.execSeconds(q)*float64(time.Second))
+	if need <= 0 || time.Until(dl) >= need {
+		return nil
+	}
+	s.ctr.shed.Add(1)
+	s.ctr.shedDeadline.Add(1)
+	hint := wait
+	if hint <= 0 {
+		hint = need
+	}
+	return withRetryAfter(hint, fmt.Errorf("serve: %s: deadline in %v, predicted wait+exec %v: %w",
+		s.name, time.Until(dl).Round(time.Millisecond), need.Round(time.Millisecond), errs.ErrDeadlineHopeless))
+}
+
+// tryStale is the degraded-mode answer path: an opted-in (AllowStale)
+// query that was shed or hit the open breaker is answered from the
+// cache regardless of entry age, marked Stale. Returns nil when the
+// query didn't opt in, bypasses the cache, or no entry exists.
+func (s *GraphService) tryStale(q Query, key string, useCache bool, tm *queryTiming) *Result {
+	if !q.AllowStale || !useCache {
+		return nil
+	}
+	res, _, ok := s.cache.getAny(key)
+	if !ok {
+		return nil
+	}
+	s.ctr.stale.Add(1)
+	tm.cached = true
+	hit := *res
+	hit.Cached = true
+	hit.Batched = false
+	hit.Stale = true
+	return &hit
 }
 
 // Outcome labels for the serve histograms (DESIGN.md §11).
@@ -484,6 +668,15 @@ const (
 	OutcomeClosed     = "closed"
 	OutcomeBadRequest = "bad_request"
 	OutcomeError      = "error"
+	// OutcomeShed marks queries refused by overload control
+	// (deadline-hopeless or CoDel queue aging); OutcomeBreakerOpen
+	// queries failed fast by the open circuit breaker; OutcomePanic
+	// queries lost to an isolated engine panic; OutcomeStale successful
+	// degraded-mode answers served from an expired cache entry.
+	OutcomeShed        = "shed"
+	OutcomeBreakerOpen = "breaker_open"
+	OutcomePanic       = "panic"
+	OutcomeStale       = "stale"
 )
 
 // outcomeFor maps a Submit error to its histogram outcome label. A
@@ -494,6 +687,12 @@ func outcomeFor(err error) string {
 	switch {
 	case err == nil:
 		return OutcomeOK
+	case errors.Is(err, errs.ErrDeadlineHopeless):
+		return OutcomeShed
+	case errors.Is(err, errs.ErrUnavailable):
+		return OutcomeBreakerOpen
+	case errors.Is(err, errs.ErrInternal):
+		return OutcomePanic
 	case errors.Is(err, errs.ErrBusy):
 		return OutcomeBusy
 	case errors.Is(err, context.DeadlineExceeded):
@@ -531,6 +730,9 @@ func histLabels(q Query, outcome string) map[string]string {
 // its trace span and applies the slow-query policy.
 func (s *GraphService) record(q Query, res *Result, err error, tm queryTiming, sp *obs.Span) {
 	outcome := outcomeFor(err)
+	if err == nil && res != nil && res.Stale {
+		outcome = OutcomeStale
+	}
 	labels := histLabels(q, outcome)
 	s.tr.Histogram(obs.HistServeE2E, labels).ObserveTrace(tm.e2e, q.TraceID)
 	if tm.waited {
@@ -549,6 +751,9 @@ func (s *GraphService) record(q Query, res *Result, err error, tm queryTiming, s
 		sp.Attr("visited", int64(res.Visited))
 		if res.Batched {
 			sp.Attr("batched", 1)
+		}
+		if res.Stale {
+			sp.Attr("stale", 1)
 		}
 	}
 	sp.End()
@@ -607,46 +812,6 @@ func (s *GraphService) logSlow(q Query, res *Result, err error, tm queryTiming, 
 	s.slowMu.Lock()
 	_, _ = s.cfg.SlowQueryLog.Write(line)
 	s.slowMu.Unlock()
-}
-
-// admit acquires an execution slot, waiting in the bounded queue when
-// every slot is busy. It fails with errs.ErrBusy when the queue is full,
-// errs.ErrCancelled when ctx dies while waiting, and errs.ErrClosed when
-// the service shuts down under the waiter.
-func (s *GraphService) admit(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	default:
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
-	}
-	if queued := s.waiting; queued >= s.cfg.MaxQueue {
-		s.mu.Unlock()
-		s.ctr.rejected.Add(1)
-		return fmt.Errorf("serve: %s: %d in flight, %d queued: %w", s.name, s.cfg.MaxInFlight, queued, errs.ErrBusy)
-	}
-	s.waiting++
-	s.ctr.queueDepth.Set(int64(s.waiting))
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.waiting--
-		s.ctr.queueDepth.Set(int64(s.waiting))
-		s.mu.Unlock()
-	}()
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		s.ctr.cancelled.Add(1)
-		return fmt.Errorf("serve: %s: queued query: %w: %w", s.name, errs.ErrCancelled, context.Cause(ctx))
-	case <-s.closing:
-		return fmt.Errorf("serve: %s: %w", s.name, errs.ErrClosed)
-	}
 }
 
 // normalize validates a query against the graph and produces its
@@ -745,11 +910,50 @@ func (s *GraphService) queryOpts(q Query) core.Options {
 	opts.Base.Sim = opts.Base.Sim.Clone()
 	opts.Base.Tracer = nil
 	opts.Base.KeepFiles = false
+	if s.cfg.PanicRoot > 0 && int64(q.Root) == s.cfg.PanicRoot {
+		// Chaos seam: a poisoned root panics mid-scatter so the panic
+		// unwinds through the engine's deferred cleanup and is recovered
+		// here in the serving layer — proving isolation end to end.
+		opts.Base.FaultHook = func() { panic("serve: injected mid-scatter panic (PanicRoot)") }
+	}
 	return opts
 }
 
-// execute runs the normalized query on the right engine.
-func (s *GraphService) execute(ctx context.Context, q Query) (*Result, error) {
+// notePanic counts one isolated panic and logs it: the first panic
+// carries its full stack, later ones a single line — the counter, not
+// the log, carries the rate under sustained chaos.
+func (s *GraphService) notePanic(q Query, r any, stack []byte) {
+	s.ctr.panics.Add(1)
+	logged := false
+	s.panicStackOnce.Do(func() {
+		log.Printf("serve: %s: recovered query panic (trace %s, algo %s, root %d): %v\n%s",
+			s.name, q.TraceID, q.Algorithm, q.Root, r, stack)
+		logged = true
+	})
+	if !logged {
+		log.Printf("serve: %s: recovered query panic (trace %s): %v (stack suppressed; see first occurrence)",
+			s.name, q.TraceID, r)
+	}
+}
+
+// execute runs the normalized query on the right engine. A panic on the
+// engine thread — the engines' own deferred cleanup having already run
+// during unwinding — is recovered here and surfaces as
+// errs.ErrInternal, failing exactly this query; scatter-worker panics
+// arrive as an error (stream.PanicError) through the engines' normal
+// shard-error path and are renamed to the same sentinel.
+func (s *GraphService) execute(ctx context.Context, q Query) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.notePanic(q, r, debug.Stack())
+			res, err = nil, fmt.Errorf("serve: %s: query panic: %v: %w", s.name, r, errs.ErrInternal)
+			return
+		}
+		var pe *stream.PanicError
+		if errors.As(err, &pe) {
+			s.notePanic(q, pe.Value, pe.Stack)
+		}
+	}()
 	opts := s.queryOpts(q)
 	switch q.Algorithm {
 	case AlgoBFS:
@@ -802,6 +1006,10 @@ func (s *GraphService) Shutdown(ctx context.Context) error {
 		close(s.closing)
 	}
 	s.mu.Unlock()
+	// Wake every queued waiter with ErrClosed before touching ctx: even
+	// an already-expired drain context must not strand waiters in the
+	// admission queue (they hold the drain group's wg).
+	s.adm.close()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -852,6 +1060,19 @@ type Stats struct {
 	// completed engine runs, solo and batched alike — the denominator
 	// for bytes-per-query comparisons.
 	DeviceBytes int64 `json:"device_bytes"`
+	// Overload-control counters (DESIGN.md §15): queries shed by
+	// admission (split into deadline-hopeless and queue-aging sheds),
+	// panics recovered and isolated to their query, degraded-mode stale
+	// answers served, circuit-breaker trips and fail-fast rejections,
+	// and whether the breaker is currently open (gauge, 0 or 1).
+	Shed             int64 `json:"shed"`
+	ShedDeadline     int64 `json:"shed_deadline"`
+	ShedQueue        int64 `json:"shed_queue"`
+	Panics           int64 `json:"panics"`
+	StaleServed      int64 `json:"stale_served"`
+	BreakerTrips     int64 `json:"breaker_trips"`
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+	BreakerOpen      int64 `json:"breaker_open"`
 }
 
 // Stats reads the current counter values.
@@ -877,5 +1098,39 @@ func (s *GraphService) Stats() Stats {
 		BatchEvicted:    s.ctr.batchEvicted.Value(),
 		BatchBytesSaved: s.ctr.batchBytesSaved.Value(),
 		DeviceBytes:     s.ctr.deviceBytes.Value(),
+
+		Shed:             s.ctr.shed.Value(),
+		ShedDeadline:     s.ctr.shedDeadline.Value(),
+		ShedQueue:        s.ctr.shedQueue.Value(),
+		Panics:           s.ctr.panics.Value(),
+		StaleServed:      s.ctr.stale.Value(),
+		BreakerTrips:     s.ctr.breakerTrips.Value(),
+		BreakerFastFails: s.ctr.breakerFast.Value(),
+		BreakerOpen:      s.ctr.breakerOpen.Value(),
 	}
+}
+
+// Ready reports whether the service should accept traffic now, with the
+// reasons it shouldn't — what GET /readyz renders. Not ready while
+// draining, while the circuit breaker is open (or half-open), when the
+// admission queue is full, or when shedding is enabled and the
+// predicted queue wait exceeds the shed target (overloaded).
+func (s *GraphService) Ready() (bool, []string) {
+	var reasons []string
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		reasons = append(reasons, "draining")
+	}
+	if s.brk.open() {
+		reasons = append(reasons, "breaker_open")
+	}
+	queued, full := s.adm.queueState()
+	if full {
+		reasons = append(reasons, "queue_full")
+	} else if s.cfg.Shed && queued > 0 && s.adm.estimatedWait() > s.cfg.ShedTarget {
+		reasons = append(reasons, "overloaded")
+	}
+	return len(reasons) == 0, reasons
 }

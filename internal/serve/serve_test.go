@@ -584,3 +584,66 @@ func TestServiceShutdownDrains(t *testing.T) {
 	}
 	assertOnlyDataset(t, vol, m)
 }
+
+// TestServiceShutdownExpiredContextWakesWaiters is the regression test
+// for the drain-ordering bug: Shutdown called with an already-expired
+// context must still wake every queued waiter — in both priority
+// classes — with ErrClosed before returning the deadline error, rather
+// than abandoning them parked on their grant channels.
+func TestServiceShutdownExpiredContextWakesWaiters(t *testing.T) {
+	vol, m := storedGraph(t)
+	svc, err := serve.New(vol, m.Name, serve.Config{MaxInFlight: 1, MaxQueue: 4, Base: smallBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newWriteGate(vol)
+
+	bCh := make(chan outcome, 1)
+	go func() {
+		r, err := svc.Submit(context.Background(), serve.Query{Algorithm: serve.AlgoBFS, Root: 1})
+		bCh <- outcome{r, err}
+	}()
+	waitFor(t, func() bool { return svc.Stats().InFlight == 1 }, "blocker in flight")
+
+	classes := []serve.Priority{
+		serve.PriorityInteractive, serve.PriorityBatch,
+		serve.PriorityInteractive, serve.PriorityBatch,
+	}
+	waiters := make(chan error, len(classes))
+	for i, class := range classes {
+		q := serve.Query{Algorithm: serve.AlgoBFS, Root: graph.VertexID(10 + i), Priority: class}
+		go func() {
+			_, err := svc.Submit(context.Background(), q)
+			waiters <- err
+		}()
+	}
+	waitFor(t, func() bool { return svc.Stats().QueueDepth == int64(len(classes)) }, "waiters queued")
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := svc.Shutdown(expired); err == nil {
+		t.Fatal("Shutdown with an expired deadline reported a clean drain")
+	}
+	// Every waiter — interactive and batch — was woken with ErrClosed;
+	// none is left parked waiting for a grant that will never come.
+	for i := 0; i < len(classes); i++ {
+		select {
+		case err := <-waiters:
+			if !errors.Is(err, errs.ErrClosed) {
+				t.Fatalf("waiter %d woke with %v, want ErrClosed", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d still parked after Shutdown returned", i)
+		}
+	}
+	waitFor(t, func() bool { return svc.Stats().QueueDepth == 0 }, "queue drained")
+
+	gate.release()
+	if o := <-bCh; o.err != nil {
+		t.Fatalf("admitted query interrupted by shutdown: %v", o.err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	assertOnlyDataset(t, vol, m)
+}

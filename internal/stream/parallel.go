@@ -1,9 +1,12 @@
 package stream
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/obs"
 )
@@ -81,6 +84,14 @@ type ScatterPool struct {
 	// elapsed scatter time × workers for utilization).
 	ChunkCounter *obs.Counter
 	BusyCounter  *obs.Counter
+
+	// FaultHook, when non-nil, runs before every chunk classification —
+	// a fault-injection seam for chaos testing. A hook that panics
+	// exercises the pool's panic isolation: the panic is recovered on
+	// the worker (or the inline serial path), converted into a
+	// PanicError on the shard, and aborts the run at that chunk's merge
+	// point like any other scatter error.
+	FaultHook func()
 
 	shards sync.Pool
 	chunks sync.Pool
@@ -259,14 +270,44 @@ func (sp *ScatterPool) run(next func() ([]graph.Edge, func(), error), fn Scatter
 	return firstErr
 }
 
-// classify runs fn over one chunk with utilization accounting.
+// PanicError is the error a recovered scatter panic becomes. It wraps
+// errs.ErrInternal so the serving layer can map it to HTTP 500, and it
+// carries the panic value and the worker's stack for the crash log. The
+// panic never escapes the worker goroutine: it aborts only the run that
+// raised it, through the same Shard.Err merge path as any scan error.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("scatter panic: %v: %v", e.Value, errs.ErrInternal)
+}
+
+func (e *PanicError) Unwrap() error { return errs.ErrInternal }
+
+// classify runs fn over one chunk with utilization accounting. A panic
+// in fn (or the FaultHook) is recovered into sh.Err rather than killing
+// the process: a long-lived server cannot afford one poisoned chunk
+// taking every query down with it.
 func (sp *ScatterPool) classify(edges []graph.Edge, sh *Shard, fn ScatterFunc) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if sp.BusyCounter == nil {
+		if sp.FaultHook != nil {
+			sp.FaultHook()
+		}
 		fn(edges, sh)
 		sp.ChunkCounter.Add(1)
 		return
 	}
 	start := time.Now()
+	if sp.FaultHook != nil {
+		sp.FaultHook()
+	}
 	fn(edges, sh)
 	sp.BusyCounter.Add(time.Since(start).Nanoseconds())
 	sp.ChunkCounter.Add(1)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"fastbfs/internal/errs"
 	"fastbfs/internal/graph"
 	"fastbfs/internal/storage"
 )
@@ -286,5 +287,59 @@ func TestShufflerAppendTo(t *testing.T) {
 				t.Fatalf("partition %d: update %d = %v, want %v", p, i, got[i], want[p][i])
 			}
 		}
+	}
+}
+
+// TestScatterPoolRecoversPanics: a panic in classify (or the fault
+// hook) must not kill the process — it surfaces as a *PanicError on
+// that chunk's shard, arriving through the normal in-order merge path,
+// and the error unwraps to errs.ErrInternal so the serving layer can
+// classify it. Workers survive to run the next query's pool.
+func TestScatterPoolRecoversPanics(t *testing.T) {
+	edges := makeEdges(5_000)
+	for _, workers := range []int{1, 4} {
+		sp := NewScatterPool(workers, 64, 1)
+		err := sp.RunSlice(edges, func(chunk []graph.Edge, out *Shard) {
+			for _, e := range chunk {
+				if e.Src == 1_000 {
+					panic("poisoned edge")
+				}
+			}
+		}, func(s *Shard) error { return nil })
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "poisoned edge" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic value %v, stack %d bytes", workers, pe.Value, len(pe.Stack))
+		}
+		if !errors.Is(err, errs.ErrInternal) {
+			t.Fatalf("workers=%d: recovered panic does not unwrap to ErrInternal: %v", workers, err)
+		}
+
+		// The same pool value cannot be reused after an error, but a new
+		// pool with the same workers must run clean — no worker died.
+		clean := NewScatterPool(workers, 64, 1)
+		scanned := 0
+		if err := clean.RunSlice(edges, func(chunk []graph.Edge, out *Shard) {
+			out.Scanned += int64(len(chunk))
+		}, func(s *Shard) error { scanned += int(s.Scanned); return nil }); err != nil {
+			t.Fatalf("workers=%d: pool after a recovered panic: %v", workers, err)
+		}
+		if scanned != len(edges) {
+			t.Fatalf("workers=%d: scanned %d of %d after a recovered panic", workers, scanned, len(edges))
+		}
+	}
+}
+
+// TestScatterPoolFaultHookPanic: the FaultHook seam the chaos cell uses
+// is covered by the same recovery.
+func TestScatterPoolFaultHookPanic(t *testing.T) {
+	edges := makeEdges(500)
+	sp := NewScatterPool(2, 64, 1)
+	sp.FaultHook = func() { panic("injected fault") }
+	err := sp.RunSlice(edges, func(chunk []graph.Edge, out *Shard) {}, func(s *Shard) error { return nil })
+	if !errors.Is(err, errs.ErrInternal) {
+		t.Fatalf("fault-hook panic: err = %v, want ErrInternal", err)
 	}
 }

@@ -670,6 +670,7 @@ func RunInMemory(rt *Runtime, engineName string, trim func(edges []graph.Edge, l
 	pool := stream.NewScatterPool(rt.Opts.ScatterWorkers, rt.Opts.StreamBufSize/graph.EdgeBytes, 1)
 	pool.ChunkCounter = ctr.ScatterChunks
 	pool.BusyCounter = ctr.ScatterBusyNs
+	pool.FaultHook = rt.Opts.FaultHook
 	ctr.ScatterWorkers.Set(int64(pool.Workers()))
 	for iter := uint32(0); int(iter) < maxIter; iter++ {
 		if err := rt.Checkpoint(); err != nil {

@@ -179,6 +179,12 @@ type Options struct {
 	// the dataset's stored codec, then fixed; the resolution happens in
 	// NewRuntimeContext (see Runtime.Codec).
 	Codec graph.Codec
+	// FaultHook, when non-nil, runs before every scatter chunk — the
+	// chaos-testing seam behind the daemon's -panic-root flag. A hook
+	// that panics exercises panic isolation: the scatter pool recovers
+	// it into a stream.PanicError (wrapping errs.ErrInternal) that
+	// aborts only the run that raised it.
+	FaultHook func()
 }
 
 // SetDefaults fills unset fields with defaults.
@@ -513,6 +519,7 @@ func (rt *Runtime) NewScatterPool(ctr obs.EngineCounters) *stream.ScatterPool {
 	sp := stream.NewScatterPool(rt.Opts.ScatterWorkers, chunk, rt.Parts.P())
 	sp.ChunkCounter = ctr.ScatterChunks
 	sp.BusyCounter = ctr.ScatterBusyNs
+	sp.FaultHook = rt.Opts.FaultHook
 	ctr.ScatterWorkers.Set(int64(sp.Workers()))
 	return sp
 }
